@@ -1,0 +1,82 @@
+"""Ablation: migration feasibility vs the Fig. 12 consolidation baseline.
+
+EXPERIMENTS.md documents the reproduction's one material divergence: with
+fully feasible migration, consolidation overtakes per-server capping at
+deep shaving levels. This ablation quantifies the feasibility knobs the
+paper hints at ("large application states or network bottlenecks"):
+migration downtime, packing density, and replanning agility - showing where
+the paper's ordering (Ours >= consolidation) does and does not hold.
+"""
+
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+from repro.cluster.cluster import ClusterSimulator
+from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
+from repro.workloads.traces import ClusterPowerTrace
+
+SHAVE = 0.30
+
+
+def consolidation_perf(
+    config,
+    *,
+    migration_downtime_s: float = 90.0,
+    replan_interval_s: float = 600.0,
+    boot_latency_s: float = 180.0,
+) -> float:
+    simulator = ClusterSimulator(config)
+    trace = ClusterPowerTrace.synthetic_diurnal(
+        peak_w=simulator.uncapped_cluster_power_w(), step_s=120.0, seed=1
+    )
+    ceiling = (1.0 - SHAVE) * trace.peak_w
+    planner = ConsolidationPlanner(
+        config, migration_downtime_s=migration_downtime_s
+    )
+    walker = ConsolidationWalker(
+        planner,
+        simulator.n_servers,
+        replan_interval_s=replan_interval_s,
+        boot_latency_s=boot_latency_s,
+    )
+    rated = config.uncapped_power_w * simulator.n_servers
+    perf_time = 0.0
+    offered_time = 0.0
+    for demand in trace.demand_w:
+        k = simulator.offered_load(demand)
+        offered_time += 2.0 * k * trace.step_s
+        if k == 0:
+            continue
+        draw = sum(simulator.loaded_server_power_w(i) for i in range(k))
+        cap = ceiling if draw > ceiling else rated
+        perf, _ = walker.step(simulator.apps_for_load(k), cap, trace.step_s)
+        perf_time += perf * trace.step_s
+    return perf_time / offered_time
+
+
+def test_ablation_migration_feasibility(benchmark, config, emit):
+    benchmark.pedantic(
+        consolidation_perf, args=(config,), rounds=1, iterations=1
+    )
+    rows = []
+    results = {}
+    scenarios = [
+        ("frictionless (0 s downtime, replan every step)", dict(migration_downtime_s=0.0, replan_interval_s=0.0, boot_latency_s=0.0)),
+        ("default (90 s downtime, 10 min replans, 3 min boots)", {}),
+        ("heavy state (600 s downtime)", dict(migration_downtime_s=600.0)),
+        ("sluggish manager (1 h replans)", dict(replan_interval_s=3600.0)),
+    ]
+    for label, kwargs in scenarios:
+        results[label] = consolidation_perf(config, **kwargs)
+        rows.append([label, results[label]])
+    emit("\n" + banner(f"ABLATION: consolidation feasibility at {SHAVE:.0%} shaving"))
+    emit(format_table(["scenario", "aggregate performance"], rows))
+    emit(
+        "our Equal(Ours) measures ~0.69 at this level (Fig. 12 bench): the "
+        "paper's ordering (Ours above consolidation) emerges once migration "
+        "friction approaches the heavy-state/sluggish regimes it warns about."
+    )
+    ordered = [results[label] for label, _ in scenarios]
+    # Friction can only hurt consolidation.
+    assert ordered[0] >= ordered[1] - 0.01
+    assert ordered[1] >= min(ordered[2], ordered[3]) - 0.01

@@ -1,0 +1,137 @@
+"""Ablation: energy-storage characteristics vs the Fig. 10 result.
+
+The paper notes the consolidated duty cycle is "tuned based on the storage
+characteristics (power/energy capacity, efficiency, etc.)". This ablation
+sweeps the two characteristics that matter at the 80 W operating point -
+round-trip efficiency (sets the OFF:ON ratio through Eq. 5) and the
+discharge-power limit (caps how far above the wall the ON phase can burst).
+"""
+
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+from repro.core.simulation import run_mix_experiment
+from repro.esd.battery import LeadAcidBattery
+from repro.esd.controller import compute_duty_cycle
+from repro.workloads.mixes import get_mix
+
+CAP_W = 80.0
+MIX_ID = 10
+
+
+def run_with_battery(config, **battery_kwargs):
+    params = dict(
+        capacity_j=300_000.0,
+        efficiency=0.70,
+        max_charge_w=50.0,
+        max_discharge_w=60.0,
+        initial_soc=0.0,
+    )
+    params.update(battery_kwargs)
+    result = run_mix_experiment(
+        list(get_mix(MIX_ID).profiles()),
+        "app+res+esd-aware",
+        CAP_W,
+        mix_id=MIX_ID,
+        config=config,
+        duration_s=60.0,
+        warmup_s=20.0,
+        battery=LeadAcidBattery(**params),
+        use_oracle_estimates=True,
+    )
+    return result.server_throughput
+
+
+def test_ablation_esd_efficiency(benchmark, config, emit):
+    benchmark.pedantic(
+        run_with_battery, args=(config,), kwargs=dict(efficiency=0.70),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    throughputs = {}
+    for eta in (0.5, 0.7, 0.9, 1.0):
+        cycle = compute_duty_cycle(
+            p_idle_w=config.p_idle_w,
+            p_cm_w=config.p_cm_w,
+            sum_app_w=40.0,
+            p_cap_w=CAP_W,
+            efficiency=eta,
+            period_s=config.duty_cycle_period_s,
+        )
+        throughput = run_with_battery(config, efficiency=eta)
+        throughputs[eta] = throughput
+        rows.append([f"{eta:.0%}", cycle.on_fraction, throughput])
+    emit("\n" + banner("ABLATION: battery efficiency vs ESD scheme (80 W, mix-10)"))
+    emit(format_table(["round-trip eff", "Eq.5 ON fraction", "server throughput"], rows))
+    emit(
+        "Lead-Acid (~70%) gives the paper's 60-40 OFF-ON split; better "
+        "chemistries shift the split and the throughput accordingly."
+    )
+    # Throughput must be monotone in efficiency (Eq. 5).
+    values = [throughputs[e] for e in (0.5, 0.7, 0.9, 1.0)]
+    assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))
+
+
+def test_ablation_esd_discharge_limit(benchmark, config, emit):
+    benchmark.pedantic(
+        run_with_battery, args=(config,), kwargs=dict(max_discharge_w=60.0),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    throughputs = {}
+    for limit in (20.0, 40.0, 60.0):
+        throughput = run_with_battery(config, max_discharge_w=limit)
+        throughputs[limit] = throughput
+        rows.append([f"{limit:.0f} W", throughput])
+    emit("\n" + banner("ABLATION: discharge-power limit vs ESD scheme (80 W, mix-10)"))
+    emit(format_table(["max discharge", "server throughput"], rows))
+    emit(
+        "a weak battery cannot cover the consolidated ON-phase overshoot "
+        "(~40 W at this cap), so the allocator must shrink the ON-phase "
+        "knobs - or the scheme degenerates toward plain duty cycling."
+    )
+    assert throughputs[60.0] >= throughputs[20.0] - 0.02
+
+
+def test_ablation_battery_chemistry(benchmark, config, emit):
+    """Chemistry presets vs the 80 W scheme (the paper's reference [31]
+    compares exactly these device classes for datacenter duty)."""
+    from repro.esd.presets import BATTERY_PRESETS, make_battery
+    from repro.core.simulation import run_mix_experiment
+
+    def run_preset(preset):
+        return run_mix_experiment(
+            list(get_mix(MIX_ID).profiles()),
+            "app+res+esd-aware",
+            CAP_W,
+            mix_id=MIX_ID,
+            config=config,
+            duration_s=60.0,
+            warmup_s=20.0,
+            battery=make_battery(preset),
+            use_oracle_estimates=True,
+        ).server_throughput
+
+    benchmark.pedantic(run_preset, args=("lead-acid",), rounds=1, iterations=1)
+    rows = []
+    results = {}
+    for preset in BATTERY_PRESETS:
+        results[preset] = run_preset(preset)
+        rows.append([preset, results[preset]])
+    emit("\n" + banner("ABLATION: battery chemistry vs ESD scheme (80 W, mix-10)"))
+    emit(format_table(["preset", "server throughput"], rows))
+    emit(
+        "round-trip efficiency dominates at this duty: every point of eta "
+        "shortens the OFF phase (Eq. 5), so the near-lossless ultracap edges "
+        "out li-ion and both beat Lead-Acid. A 10 s duty period needs only "
+        "~200 J per burst, so even the ultracap's small store suffices - "
+        "chemistry choice at server scale is about cost and lifetime, which "
+        "the paper argues favour the Lead-Acid UPS already in the chassis. "
+        "Reserving half the cell for outage backup costs nothing at this "
+        "duty (the scheme cycles a few hundred joules of a 300 kJ store)."
+    )
+    assert results["li-ion"] > results["lead-acid"]
+    assert results["ultracap"] >= results["li-ion"] - 0.05
+    assert results["lead-acid-backup-reserve"] == pytest.approx(
+        results["lead-acid"], abs=0.05
+    )

@@ -1,0 +1,60 @@
+"""Ablation: the RAPL tracking margin (guard band) vs the baseline gap.
+
+EXPERIMENTS.md documents ``rapl_guard_band = 0.06`` as a fitted calibration
+constant: hardware RAPL tracks an average limit conservatively, while
+direct knob placement does not. This ablation sweeps the band and reports
+the App+Res-Aware-over-Util-Unaware gain at 100 W - showing how much of the
+reproduction's headline gap is policy quality (the band-0 row) and how much
+is enforcement asymmetry.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import banner, format_table
+from repro.core.simulation import run_policy_comparison
+from repro.server.config import ServerConfig
+from repro.workloads.mixes import get_mix
+
+MIX_IDS = (1, 10, 14)
+
+
+def gain_at_band(band: float) -> float:
+    config = ServerConfig(rapl_guard_band=band)
+    results = run_policy_comparison(
+        [get_mix(i) for i in MIX_IDS],
+        ["util-unaware", "app+res-aware"],
+        100.0,
+        config=config,
+        duration_s=15.0,
+        warmup_s=6.0,
+        use_oracle_estimates=True,
+    )
+    means = {
+        p: float(np.mean([results[m][p].server_throughput for m in results]))
+        for p in ("util-unaware", "app+res-aware")
+    }
+    return means["app+res-aware"] / means["util-unaware"]
+
+
+def test_ablation_guard_band(benchmark, emit):
+    benchmark.pedantic(gain_at_band, args=(0.06,), rounds=1, iterations=1)
+    rows = []
+    gains = {}
+    for band in (0.0, 0.03, 0.06, 0.10):
+        gains[band] = gain_at_band(band)
+        rows.append([f"{band:.0%}", gains[band]])
+    emit("\n" + banner("ABLATION: RAPL guard band vs App+Res-Aware gain (100 W)"))
+    emit(format_table(["guard band", "gain over util-unaware"], rows))
+    emit(
+        f"with no band the pure policy-quality gain is {gains[0.0] - 1:+.1%}; "
+        f"the default 6% band adds the enforcement asymmetry, reaching "
+        f"{gains[0.06] - 1:+.1%} (the paper's ~+20% regime)"
+    )
+    # The aware policy wins even with no enforcement asymmetry at all.
+    assert gains[0.0] > 1.02
+    # And the gap grows with the band (the baseline pays it, we don't).
+    ordered = [gains[b] for b in (0.0, 0.03, 0.06, 0.10)]
+    assert all(b >= a - 0.01 for a, b in zip(ordered, ordered[1:]))

@@ -1,0 +1,111 @@
+"""Fig. 12: cluster-level peak shaving on a 10-server prototype.
+
+Regenerates both panels:
+
+* 12a - the dynamic cluster caps at 15/30/45% peak shaving derived from the
+  diurnal demand trace;
+* 12b - aggregate cluster performance for Equal(RAPL), Equal(Ours), and
+  Consolidation+Migration, plus the power-efficiency comparison behind the
+  paper's "+4% vs consolidation, +12% vs RAPL" claim.
+
+Known divergence (documented in EXPERIMENTS.md): with fully feasible
+migration our consolidation baseline overtakes per-server capping at deep
+shaving levels, where the physics of the 50 W idle floor favours powering
+servers off; the paper's ordering (Ours >= consolidation by 3-5%) holds
+here at the mild shaving level.
+"""
+
+import pytest
+
+from repro.analysis.reporting import banner, format_series, format_table
+from repro.cluster.cluster import ClusterSimulator
+from repro.workloads.traces import ClusterPowerTrace
+
+SHAVES = (0.15, 0.30, 0.45)
+
+
+@pytest.fixture(scope="module")
+def experiment(config):
+    simulator = ClusterSimulator(config)
+    trace = ClusterPowerTrace.synthetic_diurnal(
+        peak_w=simulator.uncapped_cluster_power_w(), step_s=120.0, seed=1
+    )
+    return simulator.run(
+        trace=trace, shave_fractions=SHAVES, duration_s=30.0, warmup_s=12.0
+    )
+
+
+def test_fig12a_dynamic_power_caps(benchmark, config, experiment, emit):
+    trace = benchmark(
+        lambda: ClusterPowerTrace.synthetic_diurnal(peak_w=1000.0, seed=1)
+    )
+    emit("\n" + banner("FIG 12a: Dynamic cluster power caps (diurnal trace)"))
+    for shave in SHAVES:
+        caps = experiment.cap_traces[shave]
+        hours = [0, 3, 6, 9, 12, 15, 18, 21]
+        values = [caps.at(h * 3600.0) for h in hours]
+        emit(
+            format_series(
+                f"shave {shave:.0%}", hours, values, x_label="hour", y_label="cap W"
+            )
+        )
+    assert trace.peak_w <= 1000.0
+
+
+def test_fig12b_aggregate_performance(benchmark, experiment, emit):
+    def tabulate():
+        rows = []
+        for shave in SHAVES:
+            per = experiment.results[shave]
+            for policy in ("equal-rapl", "consolidation-migration", "equal-ours"):
+                r = per[policy]
+                rows.append(
+                    [
+                        f"{shave:.0%}",
+                        policy,
+                        r.aggregate_performance,
+                        r.mean_power_w,
+                        r.budget_efficiency,
+                        r.migrations,
+                    ]
+                )
+        return rows
+
+    rows = benchmark(tabulate)
+    emit("\n" + banner("FIG 12b: Aggregate cluster performance under peak shaving"))
+    emit(
+        format_table(
+            ["shave", "policy", "agg perf", "mean power [W]", "perf/avail-W", "migrations"],
+            rows,
+        )
+    )
+    results = experiment.results
+    ours = [results[s]["equal-ours"].aggregate_performance for s in SHAVES]
+    rapl = [results[s]["equal-rapl"].aggregate_performance for s in SHAVES]
+    cons = [
+        results[s]["consolidation-migration"].aggregate_performance for s in SHAVES
+    ]
+    emit(
+        f"ours {ours[0]:.2f}-{ours[-1]:.2f} vs RAPL {rapl[0]:.2f}-{rapl[-1]:.2f} "
+        "(paper: 63-99% vs 47-89%)"
+    )
+    mild = results[0.15]
+    eff_gain_rapl = (
+        mild["equal-ours"].budget_efficiency / mild["equal-rapl"].budget_efficiency - 1
+    )
+    eff_gain_cons = (
+        mild["equal-ours"].budget_efficiency
+        / mild["consolidation-migration"].budget_efficiency
+        - 1
+    )
+    emit(
+        f"budget-efficiency gain at 15% shaving: {eff_gain_rapl:+.1%} vs RAPL, "
+        f"{eff_gain_cons:+.1%} vs consolidation (paper: +12%, +4%)"
+    )
+    # Orderings: ours beats RAPL everywhere; beats consolidation at the
+    # mild level; everyone degrades with stringency.
+    for o, r in zip(ours, rapl):
+        assert o > r
+    assert ours[0] >= cons[0] - 0.02
+    assert ours == sorted(ours, reverse=True)
+    assert eff_gain_rapl > 0.03

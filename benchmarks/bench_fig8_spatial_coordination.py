@@ -1,0 +1,101 @@
+"""Fig. 8: power management at P_cap = 100 W (spatial coordination).
+
+Regenerates all three panels over the full Table II:
+
+* 8a - overall server throughput (normalized to uncapped) per mix for the
+  four policies; headline: App-Aware ~+10% over both baselines, App+Res
+  -Aware ~+10% more (~+20% total);
+* 8b - the per-application power splits of App+Res-Aware (the paper's
+  average 46%-54% split; mix-10's 55-45);
+* 8c - per-application speedups of App+Res-Aware over Util-Unaware.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import summarize_policies
+from repro.analysis.reporting import banner, format_table
+from repro.core.simulation import run_mix_experiment, run_policy_comparison
+from repro.workloads.mixes import all_mixes, get_mix
+
+POLICIES = ["util-unaware", "server+res-aware", "app-aware", "app+res-aware"]
+CAP_W = 100.0
+
+
+@pytest.fixture(scope="module")
+def comparison(config):
+    return run_policy_comparison(
+        all_mixes(), POLICIES, CAP_W, config=config, duration_s=25.0, warmup_s=8.0
+    )
+
+
+def test_fig8a_server_throughput(benchmark, comparison, config, emit):
+    benchmark.pedantic(
+        run_mix_experiment,
+        args=(list(get_mix(10).profiles()), "app+res-aware", CAP_W),
+        kwargs=dict(config=config, duration_s=10.0, warmup_s=4.0),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for mix_id in sorted(comparison):
+        per = comparison[mix_id]
+        rows.append([mix_id] + [per[p].server_throughput for p in POLICIES])
+    summaries = summarize_policies(comparison)
+    rows.append(
+        ["avg"] + [summaries[p].mean_server_throughput for p in POLICIES]
+    )
+    emit("\n" + banner("FIG 8a: Server throughput at P_cap = 100 W"))
+    emit(format_table(["mix"] + POLICIES, rows))
+    gains = {p: summaries[p].speedup_vs_baseline for p in POLICIES}
+    emit(
+        "speedup over util-unaware: "
+        + ", ".join(f"{p}: {g:.3f}" for p, g in gains.items())
+        + "  (paper: server+res ~1.0, app-aware ~1.10, app+res ~1.20)"
+    )
+    assert gains["app-aware"] > 1.05
+    assert gains["app+res-aware"] > gains["app-aware"]
+    assert gains["app+res-aware"] > 1.12
+
+
+def test_fig8b_power_splits(benchmark, comparison, emit):
+    def split_rows():
+        rows = []
+        for mix_id in sorted(comparison):
+            result = comparison[mix_id]["app+res-aware"]
+            a, b = sorted(result.power_share)
+            rows.append([mix_id, a, result.power_share[a], b, result.power_share[b]])
+        return rows
+
+    rows = benchmark(split_rows)
+    emit("\n" + banner("FIG 8b: App+Res-Aware power splits at 100 W"))
+    emit(format_table(["mix", "app1", "share1", "app2", "share2"], rows))
+    summaries = summarize_policies(comparison)
+    low, high = summaries["app+res-aware"].mean_power_split
+    emit(f"average split: {low:.0%}-{high:.0%} (paper: 46%-54%)")
+    assert low < 0.5 < high
+    # Mix-10: the paper's 55-45 in PageRank's favour.
+    mix10 = comparison[10]["app+res-aware"].power_share
+    assert mix10["pagerank"] > mix10["kmeans"]
+
+
+def test_fig8c_per_app_speedups(benchmark, comparison, emit):
+    def speedup_rows():
+        rows = []
+        for mix_id in sorted(comparison):
+            ours = comparison[mix_id]["app+res-aware"].normalized_throughput
+            base = comparison[mix_id]["util-unaware"].normalized_throughput
+            for app in sorted(ours):
+                if base[app] > 0:
+                    rows.append([mix_id, app, ours[app] / base[app]])
+        return rows
+
+    rows = benchmark(speedup_rows)
+    emit("\n" + banner("FIG 8c: Per-app speedup of App+Res-Aware over Util-Unaware"))
+    emit(format_table(["mix", "app", "speedup"], rows))
+    speedups = [r[2] for r in rows]
+    emit(
+        f"mean per-app speedup {np.mean(speedups):.3f}; "
+        f"{sum(1 for s in speedups if s >= 0.98)}/{len(speedups)} apps at or above baseline"
+    )
+    assert np.mean(speedups) > 1.05

@@ -1,0 +1,60 @@
+"""Fig. 9: utility differences across applications and their resources.
+
+Regenerates the paper's drill-down for the three dissected mixes:
+
+* 9a - mix-10 (pagerank+kmeans): inter-application utility curves around
+  the operating point - the source of the 55-45 split;
+* 9b - mix-1 (stream+kmeans): similar app-level utilities at ~15 W each...
+* 9d - ...but very different resource-level utilities, the source of the
+  App+Res-Aware gains;
+* 9c - mix-14 (x264+sssp): both levels differ.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import banner, format_series, format_table
+from repro.core.utility import app_utility_curve, resource_marginal_utilities
+from repro.workloads.catalog import CATALOG
+from repro.workloads.mixes import get_mix
+
+BUDGETS = [float(b) for b in np.arange(9.0, 25.0, 1.0)]
+
+
+def test_fig9_mix_utility_differences(benchmark, config, oracle_sets, emit):
+    def curves_for(mix_id):
+        mix = get_mix(mix_id)
+        return {
+            name: app_utility_curve(oracle_sets[name], BUDGETS)
+            for name in mix.names()
+        }
+
+    curves_by_mix = benchmark(
+        lambda: {mid: curves_for(mid) for mid in (10, 1, 14)}
+    )
+
+    for mid, label in ((10, "9a"), (1, "9b"), (14, "9c")):
+        emit("\n" + banner(f"FIG {label}: app-level utility, mix-{mid}"))
+        for name, curve in curves_by_mix[mid].items():
+            emit(format_series(name, BUDGETS, list(curve.relative_perf), x_label="W"))
+
+    emit("\n" + banner("FIG 9d: resource-level utility for the dissected apps"))
+    rows = []
+    for name in ("stream", "kmeans", "x264", "sssp"):
+        u = resource_marginal_utilities(CATALOG[name], config)
+        rows.append([name, u["core"], u["frequency"], u["memory"]])
+    emit(format_table(["app", "core", "frequency", "memory"], rows, float_format="{:.4f}"))
+
+    # Mix-10: PageRank's marginal utility exceeds kmeans' near 15 W.
+    m10 = curves_by_mix[10]
+    slope = {
+        n: c.value_at(17.0) - c.value_at(13.0) for n, c in m10.items()
+    }
+    assert slope["pagerank"] > slope["kmeans"]
+    # Mix-1: app-level curves are close at 15 W (within ~15 points)...
+    m1 = curves_by_mix[1]
+    assert abs(m1["stream"].value_at(15.0) - m1["kmeans"].value_at(15.0)) < 0.15
+    # ...but the resource preferences are opposite.
+    u_stream = resource_marginal_utilities(CATALOG["stream"], config)
+    u_kmeans = resource_marginal_utilities(CATALOG["kmeans"], config)
+    assert max(u_stream, key=u_stream.get) == "memory"
+    assert max(u_kmeans, key=u_kmeans.get) != "memory"

@@ -1,0 +1,28 @@
+"""Table I: the server configuration.
+
+Regenerates the paper's platform table from :class:`ServerConfig` and
+benchmarks knob-space enumeration (the operation every allocation epoch
+implicitly iterates).
+"""
+
+from repro.analysis.reporting import banner, format_table
+
+
+def test_table1_server_configuration(benchmark, config, emit):
+    space = benchmark(config.knob_space)
+    rows = [
+        ["Processor", "Xeon-2620 (simulated)"],
+        ["Cores", config.total_cores],
+        ["Freq.", f"{config.freq_min_ghz}-{config.freq_max_ghz} GHz"],
+        ["Freq. steps", len(config.frequencies_ghz)],
+        ["LLC", f"{config.llc_mb_per_socket:.0f} MB / socket"],
+        ["Memory", f"{config.memory_gb:.0f} GB DDR3"],
+        ["NUMA", f"{config.sockets} nodes"],
+        ["P_idle", f"{config.p_idle_w:.0f} W"],
+        ["P_cm", f"{config.p_cm_w:.0f} W"],
+        ["P_dynamic", f"{config.p_dynamic_max_w:.0f} W"],
+        ["Knob space", f"{len(space)} (f, n, m) settings"],
+    ]
+    emit("\n" + banner("TABLE I: Server Configuration"))
+    emit(format_table(["Parameter", "Value"], rows))
+    assert len(space) == 432

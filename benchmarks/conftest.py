@@ -1,0 +1,56 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every benchmark both *measures* a representative unit of its pipeline (the
+pytest-benchmark part) and *prints* the same rows/series the paper's table
+or figure reports, so ``pytest benchmarks/ --benchmark-only`` leaves a
+directly comparable record in its output. Absolute numbers come from our
+simulated substrate; the shapes are what reproduce (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.utility import CandidateSet
+from repro.server.config import ServerConfig
+from repro.server.perf_model import PerformanceModel
+from repro.server.power_model import PowerModel
+from repro.workloads.catalog import CATALOG
+
+
+@pytest.fixture(scope="session")
+def config() -> ServerConfig:
+    return ServerConfig()
+
+
+@pytest.fixture(scope="session")
+def perf_model(config) -> PerformanceModel:
+    return PerformanceModel(config)
+
+
+@pytest.fixture(scope="session")
+def power_model(config, perf_model) -> PowerModel:
+    return PowerModel(config, perf_model)
+
+
+@pytest.fixture(scope="session")
+def oracle_sets(config, power_model) -> dict[str, CandidateSet]:
+    return {
+        name: CandidateSet.from_models(profile, config, power_model=power_model)
+        for name, profile in CATALOG.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Print straight to the terminal, bypassing pytest capture."""
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print(text)
+        else:
+            print(text)
+
+    return _emit

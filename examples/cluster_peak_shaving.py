@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Cluster scale: peak shaving a 10-server fleet three ways (Fig. 12).
+
+A diurnal demand trace drives a 10-server cluster; peak shaving caps the
+fleet at 85/70/55% of its peak draw. Three cluster managers compete:
+
+* Equal(RAPL)       - even split, per-server RAPL capping (state of the art);
+* Equal(Ours)       - even split, the paper's App+Res+ESD-Aware policy on
+                      every server;
+* Consolidation     - power only the servers the budget affords at *rated*
+                      draw, migrate applications onto them, cap nobody.
+
+Run:  python examples/cluster_peak_shaving.py        (a few minutes)
+      python examples/cluster_peak_shaving.py fast   (coarse, ~1 minute)
+"""
+
+import sys
+
+from repro import ClusterPowerTrace
+from repro.cluster import ClusterSimulator
+
+
+def main() -> None:
+    fast = len(sys.argv) > 1 and sys.argv[1] == "fast"
+    simulator = ClusterSimulator()
+    trace = ClusterPowerTrace.synthetic_diurnal(
+        peak_w=simulator.uncapped_cluster_power_w(),
+        step_s=600.0 if fast else 120.0,
+        seed=1,
+    )
+    print(
+        f"cluster: {simulator.n_servers} servers, uncapped peak "
+        f"{simulator.uncapped_cluster_power_w():.0f} W, trough "
+        f"{trace.trough_w:.0f} W"
+    )
+    experiment = simulator.run(
+        trace=trace,
+        duration_s=15.0 if fast else 30.0,
+        warmup_s=8.0 if fast else 12.0,
+    )
+
+    print(f"\n{'shave':>6s}  {'policy':>24s}  {'agg perf':>8s}  {'power [W]':>9s}  "
+          f"{'perf/avail-W':>12s}  {'migrations':>10s}")
+    for shave in sorted(experiment.results):
+        for policy in ("equal-rapl", "consolidation-migration", "equal-ours"):
+            r = experiment.results[shave][policy]
+            print(
+                f"{shave:6.0%}  {policy:>24s}  {r.aggregate_performance:8.3f}  "
+                f"{r.mean_power_w:9.1f}  {r.budget_efficiency:12.3f}  "
+                f"{r.migrations:10d}"
+            )
+
+    mild = experiment.results[min(experiment.results)]
+    gain = (
+        mild["equal-ours"].aggregate_performance
+        / mild["equal-rapl"].aggregate_performance
+        - 1.0
+    )
+    print(
+        f"\nat mild shaving, mediating per-server power struggles recovers "
+        f"{gain:+.1%} aggregate performance over RAPL capping, without "
+        "migrating a single application."
+    )
+
+
+if __name__ == "__main__":
+    main()

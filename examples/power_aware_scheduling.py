@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Extension: cluster-level job placement that anticipates power struggles.
+
+The paper closes by calling for "integration with cluster/datacenter level
+scheduling and job allocation mechanisms to individual servers". This
+example runs that integration: four servers with heterogeneous power caps
+(the situation peak shaving creates), a stream of arriving jobs, and two
+schedulers - a classic least-loaded placer that counts free cores, and the
+power-aware placer that asks each server's allocator what the newcomer
+would actually achieve there.
+
+After placement, both clusters are *executed* (one mediator per server) so
+the comparison is measured throughput, not just the scheduler's own score.
+
+Run:  python examples/power_aware_scheduling.py
+"""
+
+from repro import CATALOG, PowerMediator, SimulatedServer, make_policy
+from repro.cluster import PowerAwareScheduler
+
+CAPS_W = [120.0, 100.0, 85.0, 75.0]
+JOBS = ["stream", "pagerank", "sssp", "x264", "kmeans"]
+
+
+def place_and_run(strategy: str) -> tuple[dict[int, list[str]], float]:
+    scheduler = PowerAwareScheduler(
+        SimulatedServer().config, CAPS_W, strategy=strategy
+    )
+    for name in JOBS:
+        scheduler.place(CATALOG[name])
+    placement = {s.index: [p.name for p in s.apps] for s in scheduler.servers}
+
+    total = 0.0
+    for slot in scheduler.servers:
+        if not slot.apps:
+            continue
+        server = SimulatedServer()
+        mediator = PowerMediator(
+            server, make_policy("app+res-aware"), slot.p_cap_w,
+            use_oracle_estimates=True,
+        )
+        for profile in slot.apps:
+            mediator.add_application(
+                profile.with_total_work(float("inf")), skip_overhead=True
+            )
+        mediator.run_for(20.0)
+        total += mediator.server_objective(since_s=5.0)
+    return placement, total
+
+
+def main() -> None:
+    print(f"four servers, caps {[int(c) for c in CAPS_W]} W; "
+          f"jobs arriving: {', '.join(JOBS)}\n")
+    results = {}
+    for strategy in ("least-loaded", "power-aware"):
+        placement, total = place_and_run(strategy)
+        results[strategy] = total
+        print(f"{strategy}:")
+        for idx, apps in placement.items():
+            print(f"    server {idx} (cap {CAPS_W[idx]:.0f} W): "
+                  f"{', '.join(apps) or '(empty)'}")
+        print(f"    measured cluster objective: {total:.3f}\n")
+    gain = results["power-aware"] / results["least-loaded"] - 1.0
+    print(f"anticipating the power struggle at placement time: {gain:+.1%}")
+    print("(the power-aware placer keeps the tight-capped servers for jobs "
+          "that lose little under a cap, and pairs complementary resource "
+          "profiles on the rest)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: mediate a power struggle between two co-located applications.
+
+Two compute-bound applications (the paper's mix-10: PageRank and kmeans)
+share a dual-socket server capped at 100 W. They own disjoint cores, caches
+and DIMMs - their only contention is for watts. This script runs the
+paper's full App+Res-Aware pipeline (online utility learning, knapsack
+allocation, spatial coordination) and prints what each application received
+and achieved.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PowerMediator, SimulatedServer, get_mix, make_policy
+
+
+def main() -> None:
+    server = SimulatedServer()
+    mediator = PowerMediator(
+        server,
+        make_policy("app+res-aware"),
+        p_cap_w=100.0,
+        seed=42,
+    )
+
+    mix = get_mix(10)
+    print(f"Admitting {mix} under a 100 W cap "
+          f"(dynamic budget: {server.config.dynamic_budget_w(100.0):.0f} W)...")
+    for profile in mix.profiles():
+        mediator.add_application(profile.with_total_work(float("inf")))
+
+    mediator.run_for(30.0)
+
+    plan = mediator.coordinator.plan
+    print(f"\ncoordination mode: {plan.mode.value}")
+    print(f"{'app':>10s}  {'power [W]':>10s}  {'share':>6s}  {'knob':>22s}  {'Perf/Perf_nocap':>16s}")
+    for name in mediator.managed_apps():
+        alloc = plan.allocation.apps[name]
+        knob = server.knobs.knob_of(name)
+        throughput = mediator.normalized_throughput(name, since_s=5.0)
+        print(
+            f"{name:>10s}  {alloc.power_w:10.1f}  "
+            f"{plan.allocation.share_of(name):6.0%}  {str(knob):>22s}  {throughput:16.3f}"
+        )
+
+    last = mediator.timeline[-1]
+    print(f"\nwall power {last.wall_w:.1f} W (cap 100.0 W) - "
+          f"server objective {mediator.server_objective(since_s=5.0):.3f} / 2.0")
+    print("The allocator divides watts by marginal utility, not evenly - "
+          "on the paper's hardware this mix settles at a 55-45 split in "
+          "PageRank's favour. Pass use_oracle_estimates=True to see the "
+          "split without online-learning noise.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Requirement R4 in action: surviving a stringent cap with energy storage.
+
+At an 80 W cap the dynamic budget is 10 W - not enough to run both
+applications at once (each needs ~10 W minimum). Without a battery the
+server must alternate the applications through exclusive time slots; with
+the server-local Lead-Acid UPS, the App+Res+ESD-Aware policy instead banks
+the cap headroom during collective deep-sleep periods and runs *both*
+applications at full power during short bursts, amortizing the 20 W
+chip-maintenance power (Eq. 5, Fig. 5 of the paper).
+
+This script runs both schemes and prints the ON/OFF timeline of the ESD
+scheme so the duty cycle is visible, along with the battery's state of
+charge.
+
+Run:  python examples/stringent_cap_with_battery.py
+"""
+
+from repro import (
+    LeadAcidBattery,
+    PowerMediator,
+    SimulatedServer,
+    get_mix,
+    make_policy,
+)
+
+CAP_W = 80.0
+
+
+def run_policy(policy_name: str, battery: LeadAcidBattery | None = None):
+    server = SimulatedServer()
+    mediator = PowerMediator(
+        server, make_policy(policy_name), CAP_W, battery=battery, seed=7
+    )
+    for profile in get_mix(10).profiles():
+        mediator.add_application(profile.with_total_work(float("inf")))
+    mediator.run_for(80.0)
+    return mediator
+
+
+def main() -> None:
+    print(f"P_cap = {CAP_W:.0f} W -> dynamic budget 10 W: a genuine power struggle.\n")
+
+    plain = run_policy("app+res-aware")
+    battery = LeadAcidBattery(
+        capacity_j=300_000.0, efficiency=0.70, max_charge_w=50.0,
+        max_discharge_w=60.0, initial_soc=0.0,
+    )
+    esd = run_policy("app+res+esd-aware", battery)
+
+    from repro.analysis.timeline import render_modes, render_power_timeline, render_series
+
+    window = esd.timeline[300:700]
+    print("ESD-scheme timeline (t = 30..70 s):")
+    print(render_power_timeline(window))
+    print(render_modes(window))
+    print(
+        render_series(
+            "battery [J]",
+            [r.time_s for r in window],
+            [r.battery_soc * battery.capacity_j for r in window],
+        )
+    )
+
+    steady_s = 30.0
+    plain_obj = plain.server_objective(since_s=steady_s)
+    esd_obj = esd.server_objective(since_s=steady_s)
+    print(f"\nserver throughput (normalized, steady state):")
+    print(f"  app+res-aware (alternating slots): {plain_obj:.3f}")
+    print(f"  app+res+esd-aware (bank & burst):  {esd_obj:.3f}")
+    print(f"  battery boost: {esd_obj / plain_obj:.2f}x  (paper: nearly 2x)")
+    stats = battery.stats
+    print(
+        f"\nbattery: {stats.total_charged_j:.0f} J drawn, "
+        f"{stats.total_discharged_j:.0f} J delivered, "
+        f"{stats.equivalent_cycles:.4f} equivalent cycles "
+        "(the paper: shelf life dominates at this duty)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``. This file exists so
+environments without the ``wheel`` package (whose setuptools cannot build
+PEP 660 editable wheels) can still do ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

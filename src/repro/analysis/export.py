@@ -1,0 +1,131 @@
+"""Result export: experiment outputs as JSON and CSV for external plotting.
+
+The benchmarks print the paper's rows to the terminal; downstream users
+replotting with their own tooling want machine-readable files instead.
+These helpers serialize the experiment result types without adding any
+plotting dependency to the library.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.core.simulation import MixExperimentResult
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert dataclasses/tuples/numpy scalars to JSON types."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def results_to_json(results: Any, path: str | os.PathLike) -> None:
+    """Serialize any result structure (dataclasses included) to JSON.
+
+    Works for ``MixExperimentResult``, ``{mix: {policy: result}}``
+    comparisons, ``ClusterExperiment.results``, calibration point lists -
+    anything built from dataclasses, dicts, lists and scalars.
+    """
+    with open(path, "w") as handle:
+        json.dump(_jsonable(results), handle, indent=2, sort_keys=True)
+
+
+def comparison_to_csv(
+    comparison: dict[int, dict[str, MixExperimentResult]],
+    path: str | os.PathLike,
+) -> None:
+    """Flatten a ``run_policy_comparison`` output to one CSV row per
+    (mix, policy, app): the long format plotting libraries prefer.
+
+    Columns: ``mix_id, policy, p_cap_w, app, normalized_throughput,
+    power_share, server_throughput, mean_wall_power_w``.
+
+    Raises:
+        ConfigurationError: on an empty comparison.
+    """
+    if not comparison:
+        raise ConfigurationError("empty comparison")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "mix_id",
+                "policy",
+                "p_cap_w",
+                "app",
+                "normalized_throughput",
+                "power_share",
+                "server_throughput",
+                "mean_wall_power_w",
+            ]
+        )
+        for mix_id in sorted(comparison):
+            for policy in sorted(comparison[mix_id]):
+                result = comparison[mix_id][policy]
+                for app in sorted(result.normalized_throughput):
+                    writer.writerow(
+                        [
+                            mix_id,
+                            policy,
+                            result.p_cap_w,
+                            app,
+                            result.normalized_throughput[app],
+                            result.power_share.get(app, 0.0),
+                            result.server_throughput,
+                            result.mean_wall_power_w,
+                        ]
+                    )
+
+
+def timeline_to_csv(timeline: list, path: str | os.PathLike) -> None:
+    """Flatten a mediator timeline to CSV: one row per (tick, app), plus
+    server-level rows with app ``_server`` carrying wall power and mode.
+
+    Raises:
+        ConfigurationError: on an empty timeline.
+    """
+    if not timeline:
+        raise ConfigurationError("empty timeline")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time_s", "app", "power_w", "progressed", "mode", "p_cap_w", "battery_soc"]
+        )
+        for record in timeline:
+            writer.writerow(
+                [
+                    record.time_s,
+                    "_server",
+                    record.wall_w,
+                    "",
+                    record.mode.value,
+                    record.p_cap_w,
+                    record.battery_soc if record.battery_soc is not None else "",
+                ]
+            )
+            for app, power in sorted(record.app_power_w.items()):
+                writer.writerow(
+                    [
+                        record.time_s,
+                        app,
+                        power,
+                        record.progressed.get(app, 0.0),
+                        record.mode.value,
+                        record.p_cap_w,
+                        "",
+                    ]
+                )

@@ -1,0 +1,114 @@
+"""Aggregation of experiment results into the paper's reported quantities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.core.simulation import MixExperimentResult
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """Cross-mix aggregate for one policy at one cap.
+
+    Attributes:
+        policy: Policy name.
+        p_cap_w: The cap.
+        mean_server_throughput: Mean over mixes of the per-mix sum of
+            normalized per-app throughputs (the paper's "overall server
+            throughput").
+        speedup_vs_baseline: Ratio of this policy's mean to the named
+            baseline's mean (filled by :func:`summarize_policies`).
+        mean_power_split: Mean (smaller-share, larger-share) split between
+            the two applications when running spatially (the paper's
+            "46%-54% split, on average").
+    """
+
+    policy: str
+    p_cap_w: float
+    mean_server_throughput: float
+    speedup_vs_baseline: float
+    mean_power_split: tuple[float, float]
+
+
+def mean_server_throughput(results: dict[int, MixExperimentResult]) -> float:
+    """Mean server throughput over a ``{mix_id: result}`` map."""
+    if not results:
+        raise ConfigurationError("no results to aggregate")
+    return float(np.mean([r.server_throughput for r in results.values()]))
+
+
+def speedup_over(
+    results: dict[int, MixExperimentResult],
+    baseline: dict[int, MixExperimentResult],
+) -> float:
+    """Ratio of mean server throughputs (policy over baseline).
+
+    Raises:
+        ConfigurationError: when the result sets cover different mixes.
+    """
+    if set(results) != set(baseline):
+        raise ConfigurationError("result sets cover different mixes")
+    return mean_server_throughput(results) / mean_server_throughput(baseline)
+
+
+def power_split_stats(
+    results: dict[int, MixExperimentResult],
+) -> tuple[float, float]:
+    """Mean (low, high) power split over mixes that ran spatially.
+
+    Mixes under temporal coordination (all shares zero) are skipped; if no
+    mix ran spatially the result is ``(0.5, 0.5)`` by convention.
+    """
+    lows: list[float] = []
+    highs: list[float] = []
+    for result in results.values():
+        shares = sorted(result.power_share.values())
+        if len(shares) == 2 and sum(shares) > 0:
+            lows.append(shares[0])
+            highs.append(shares[1])
+    if not lows:
+        return (0.5, 0.5)
+    return (float(np.mean(lows)), float(np.mean(highs)))
+
+
+def summarize_policies(
+    comparison: dict[int, dict[str, MixExperimentResult]],
+    *,
+    baseline: str = "util-unaware",
+) -> dict[str, PolicySummary]:
+    """Condense a ``run_policy_comparison`` output into per-policy summaries.
+
+    Args:
+        comparison: ``{mix_id: {policy: result}}``.
+        baseline: The policy all speedups are reported against.
+
+    Raises:
+        ConfigurationError: when ``baseline`` is missing from the results.
+    """
+    if not comparison:
+        raise ConfigurationError("empty comparison")
+    policies = sorted(next(iter(comparison.values())))
+    if baseline not in policies:
+        raise ConfigurationError(f"baseline {baseline!r} not in results {policies}")
+    per_policy: dict[str, dict[int, MixExperimentResult]] = {
+        policy: {mid: comparison[mid][policy] for mid in comparison} for policy in policies
+    }
+    base_mean = mean_server_throughput(per_policy[baseline])
+    caps = {r.p_cap_w for results in per_policy.values() for r in results.values()}
+    if len(caps) != 1:
+        raise ConfigurationError(f"results mix several caps: {sorted(caps)}")
+    cap = caps.pop()
+    return {
+        policy: PolicySummary(
+            policy=policy,
+            p_cap_w=cap,
+            mean_server_throughput=mean_server_throughput(per_policy[policy]),
+            speedup_vs_baseline=mean_server_throughput(per_policy[policy]) / base_mean,
+            mean_power_split=power_split_stats(per_policy[policy]),
+        )
+        for policy in policies
+    }

@@ -1,0 +1,358 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands:
+
+* ``mix``       - one co-location under one policy and cap;
+* ``compare``   - several policies over several mixes (Fig. 8/10 style);
+* ``utility``   - an application's utility curve and resource preferences;
+* ``calibrate`` - the Fig. 7 sampling-fraction sweep;
+* ``dynamic``   - a Poisson arrival stream against one server;
+* ``cluster``   - the Fig. 12 peak-shaving comparison;
+* ``place``     - the power-aware job-placement extension;
+* ``zones``     - the hardware powercap-zone extension.
+
+Examples::
+
+    python -m repro mix --mix 10 --cap 100
+    python -m repro compare --cap 80 --mixes 1,10,14 --policies util-unaware,app+res-aware
+    python -m repro utility --app stream
+    python -m repro cluster --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import banner, format_series, format_table
+from repro.core.policies import POLICY_NAMES
+from repro.core.simulation import (
+    run_dynamic_experiment,
+    run_mix_experiment,
+    run_policy_comparison,
+)
+from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
+from repro.cluster.cluster import ClusterSimulator
+from repro.learning.crossval import calibrate_sampling_fraction
+from repro.server.config import ServerConfig
+from repro.workloads.catalog import CATALOG, application_names, get_application
+from repro.workloads.generator import ArrivalEvent, ArrivalSchedule
+from repro.workloads.mixes import all_mixes, get_mix
+from repro.workloads.traces import ClusterPowerTrace
+
+
+def _parse_mixes(text: str) -> list[int]:
+    return [int(part) for part in text.split(",") if part]
+
+
+def _parse_policies(text: str) -> list[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    mix = get_mix(args.mix)
+    result = run_mix_experiment(
+        list(mix.profiles()),
+        args.policy,
+        args.cap,
+        mix_id=args.mix,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        use_oracle_estimates=args.oracle,
+        seed=args.seed,
+    )
+    print(banner(f"{mix} @ {args.cap:.0f} W under {args.policy}"))
+    rows = [
+        [name, result.normalized_throughput[name], result.power_share[name]]
+        for name in sorted(result.normalized_throughput)
+    ]
+    print(format_table(["app", "Perf/Perf_nocap", "power share"], rows))
+    print(
+        f"server throughput {result.server_throughput:.3f}; "
+        f"mean wall power {result.mean_wall_power_w:.1f} W"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    mixes = (
+        [get_mix(i) for i in _parse_mixes(args.mixes)] if args.mixes else all_mixes()
+    )
+    policies = (
+        _parse_policies(args.policies)
+        if args.policies
+        else ["util-unaware", "app+res-aware"]
+    )
+    results = run_policy_comparison(
+        mixes,
+        policies,
+        args.cap,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        use_oracle_estimates=args.oracle,
+        seed=args.seed,
+    )
+    print(banner(f"{len(mixes)} mixes @ {args.cap:.0f} W"))
+    rows = [
+        [mid] + [results[mid][p].server_throughput for p in policies]
+        for mid in sorted(results)
+    ]
+    means = [
+        float(np.mean([results[mid][p].server_throughput for mid in results]))
+        for p in policies
+    ]
+    rows.append(["avg"] + means)
+    print(format_table(["mix"] + policies, rows))
+    base = means[0]
+    if base > 0:
+        gains = ", ".join(f"{p}: {m / base:.3f}x" for p, m in zip(policies, means))
+        print(f"relative to {policies[0]}: {gains}")
+    return 0
+
+
+def cmd_utility(args: argparse.Namespace) -> int:
+    profile = get_application(args.app)
+    config = ServerConfig()
+    cset = CandidateSet.from_models(profile, config)
+    budgets = [float(b) for b in np.arange(np.floor(cset.min_power_w), 26.0, 1.0)]
+    curve = app_utility_curve(cset, budgets)
+    print(banner(f"utility of {args.app}"))
+    print(format_series(args.app, budgets, list(curve.relative_perf), x_label="W"))
+    utilities = resource_marginal_utilities(profile, config)
+    print(
+        "marginal utility per watt: "
+        + ", ".join(f"{k}: {v:.4f}" for k, v in utilities.items())
+    )
+    print(
+        f"demand {cset.max_power_w:.1f} W, minimum {cset.min_power_w:.1f} W, "
+        f"class {profile.wclass}"
+    )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    fractions = [float(f) for f in args.fractions.split(",")]
+    points = calibrate_sampling_fraction(
+        ServerConfig(), list(CATALOG.values()), fractions, seed=args.seed
+    )
+    print(banner("online sampling calibration (Fig. 7)"))
+    rows = [
+        [f"{p.fraction:.0%}", p.power_rmse_w, p.perf_ratio, p.power_ratio]
+        for p in points
+    ]
+    print(
+        format_table(
+            ["sampled", "power RMSE [W]", "perf vs oracle", "power/budget"], rows
+        )
+    )
+    return 0
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    schedule = ArrivalSchedule.poisson(
+        rate_per_s=args.rate, horizon_s=args.horizon * 0.8, seed=args.seed
+    )
+    schedule = ArrivalSchedule(
+        [
+            ArrivalEvent(e.time_s, e.profile.with_total_work(args.work))
+            for e in schedule.events
+        ]
+    )
+    result = run_dynamic_experiment(
+        schedule,
+        args.policy,
+        args.cap,
+        horizon_s=args.horizon,
+        use_oracle_estimates=args.oracle,
+        seed=args.seed,
+    )
+    print(banner(f"dynamic arrivals @ {args.cap:.0f} W under {args.policy}"))
+    print(f"admitted  {len(result.admitted)}: {', '.join(result.admitted) or '-'}")
+    print(f"rejected  {len(result.rejected)}: {', '.join(result.rejected) or '-'}")
+    print(f"completed {len(result.completed)}: {', '.join(result.completed) or '-'}")
+    print(f"mean normalized throughput {result.mean_normalized_throughput:.3f}")
+    print(f"events: {result.events}")
+    return 0
+
+
+def cmd_place(args: argparse.Namespace) -> int:
+    from repro.cluster.scheduler import PLACEMENT_POLICIES, PowerAwareScheduler
+
+    caps = [float(c) for c in args.caps.split(",")]
+    jobs = [get_application(n) for n in args.jobs.split(",")]
+    rows = []
+    objectives = {}
+    for strategy in PLACEMENT_POLICIES:
+        scheduler = PowerAwareScheduler(ServerConfig(), caps, strategy=strategy)
+        for job in jobs:
+            scheduler.place(job)
+        objectives[strategy] = scheduler.cluster_objective()
+        layout = "; ".join(
+            f"s{slot.index}({slot.p_cap_w:.0f}W): "
+            + (",".join(p.name for p in slot.apps) or "-")
+            for slot in scheduler.servers
+        )
+        rows.append([strategy, objectives[strategy], layout])
+    print(banner("job placement (extension: paper future-work i)"))
+    print(format_table(["strategy", "objective", "placement"], rows))
+    return 0
+
+
+def cmd_zones(args: argparse.Namespace) -> int:
+    from repro.server.powercap import HardwarePowercap
+    from repro.server.server import SimulatedServer
+
+    server = SimulatedServer()
+    mix = get_mix(args.mix)
+    for profile in mix.profiles():
+        server.admit(profile.with_total_work(float("inf")))
+    powercap = HardwarePowercap(server)
+    names = mix.names()
+    limits = [float(v) for v in args.limits.split(",")]
+    if len(limits) != len(names):
+        raise SystemExit(f"need {len(names)} limits for {mix}")
+    for name, limit in zip(names, limits):
+        powercap.set_zone(name, limit)
+    result = None
+    for _ in range(int(args.duration / 0.1)):
+        result = server.tick(0.1)
+        powercap.on_tick(result)
+    print(banner(f"hardware powercap zones on {mix}"))
+    rows = []
+    for name in names:
+        zone = powercap.zones[name]
+        rows.append(
+            [
+                name,
+                zone.limit_w,
+                result.breakdown.app_w.get(name, 0.0),
+                str(zone.knob),
+                zone.stats.throttle_steps,
+            ]
+        )
+    print(
+        format_table(
+            ["app", "limit [W]", "measured [W]", "enforced knob", "throttle steps"],
+            rows,
+        )
+    )
+    print(f"wall power {result.breakdown.wall_w:.1f} W")
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    simulator = ClusterSimulator()
+    trace = ClusterPowerTrace.synthetic_diurnal(
+        peak_w=simulator.uncapped_cluster_power_w(),
+        step_s=600.0 if args.fast else 120.0,
+        seed=args.seed,
+    )
+    experiment = simulator.run(
+        trace=trace,
+        duration_s=15.0 if args.fast else 30.0,
+        warmup_s=8.0 if args.fast else 12.0,
+        seed=args.seed,
+    )
+    print(banner("cluster peak shaving (Fig. 12)"))
+    rows = []
+    for shave in sorted(experiment.results):
+        for policy, r in sorted(experiment.results[shave].items()):
+            rows.append(
+                [f"{shave:.0%}", policy, r.aggregate_performance, r.budget_efficiency]
+            )
+    print(format_table(["shave", "policy", "agg perf", "perf/avail-W"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mediating Power Struggles on a Shared Server (ISPASS 2020) - reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, *, cap_default: float = 100.0) -> None:
+        p.add_argument("--cap", type=float, default=cap_default, help="server power cap [W]")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--oracle",
+            action="store_true",
+            help="bypass online learning (true response surfaces)",
+        )
+
+    p_mix = sub.add_parser("mix", help="one co-location under one policy")
+    p_mix.add_argument("--mix", type=int, default=10, help="Table II mix id (1-15)")
+    p_mix.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
+    p_mix.add_argument("--duration", type=float, default=30.0)
+    p_mix.add_argument("--warmup", type=float, default=10.0)
+    common(p_mix)
+    p_mix.set_defaults(func=cmd_mix)
+
+    p_cmp = sub.add_parser("compare", help="policies x mixes comparison")
+    p_cmp.add_argument("--mixes", type=str, default="", help="comma-separated mix ids (default: all)")
+    p_cmp.add_argument(
+        "--policies",
+        type=str,
+        default="",
+        help=f"comma-separated from {POLICY_NAMES}",
+    )
+    p_cmp.add_argument("--duration", type=float, default=25.0)
+    p_cmp.add_argument("--warmup", type=float, default=8.0)
+    common(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_util = sub.add_parser("utility", help="an application's utility curves")
+    p_util.add_argument("--app", choices=application_names(), required=True)
+    p_util.set_defaults(func=cmd_utility)
+
+    p_cal = sub.add_parser("calibrate", help="sampling-fraction calibration (Fig. 7)")
+    p_cal.add_argument("--fractions", type=str, default="0.02,0.05,0.10,0.20,0.40")
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.set_defaults(func=cmd_calibrate)
+
+    p_dyn = sub.add_parser("dynamic", help="Poisson arrival stream")
+    p_dyn.add_argument("--rate", type=float, default=0.02, help="arrivals per second")
+    p_dyn.add_argument("--horizon", type=float, default=300.0, help="simulation length [s]")
+    p_dyn.add_argument("--work", type=float, default=100.0, help="work units per arrival")
+    p_dyn.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
+    common(p_dyn)
+    p_dyn.set_defaults(func=cmd_dynamic)
+
+    p_clu = sub.add_parser("cluster", help="cluster peak shaving (Fig. 12)")
+    p_clu.add_argument("--fast", action="store_true", help="coarse settings")
+    p_clu.add_argument("--seed", type=int, default=1)
+    p_clu.set_defaults(func=cmd_cluster)
+
+    p_place = sub.add_parser("place", help="power-aware job placement (extension)")
+    p_place.add_argument(
+        "--caps", type=str, default="120,100,85,75", help="per-server caps [W]"
+    )
+    p_place.add_argument(
+        "--jobs",
+        type=str,
+        default="stream,pagerank,sssp,x264",
+        help="comma-separated catalog applications",
+    )
+    p_place.set_defaults(func=cmd_place)
+
+    p_zones = sub.add_parser("zones", help="hardware powercap zones (extension)")
+    p_zones.add_argument("--mix", type=int, default=1)
+    p_zones.add_argument(
+        "--limits", type=str, default="15,12", help="per-app zone limits [W]"
+    )
+    p_zones.add_argument("--duration", type=float, default=30.0)
+    p_zones.set_defaults(func=cmd_zones)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

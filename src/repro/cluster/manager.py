@@ -1,0 +1,164 @@
+"""Cluster-manager policy evaluators.
+
+The Fig. 12 experiment replays a day-long cap series. Simulating every
+server tick-by-tick for 24 hours is wasteful: within one cap *bin* (the cap
+quantized to a grid) every policy reaches a steady state, so the cluster
+simulator decomposes the trace into bins, evaluates each (policy, bin) once,
+and time-weights the results by bin residency. This module provides the
+per-bin evaluators:
+
+* :func:`evaluate_equal_policy_bin` - even per-server split, each server
+  simulated under a server policy (Util-Unaware for Equal(RAPL),
+  App+Res+ESD-Aware for Equal(Ours)); results are cached per
+  (mix, policy, per-server cap) since servers with the same mix and cap
+  behave identically.
+* :func:`evaluate_consolidation_bin` - the analytic consolidation packing
+  (uncapped servers have no control dynamics worth simulating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.cluster.migration import ConsolidationPlan, ConsolidationPlanner
+from repro.core.simulation import run_mix_experiment
+from repro.server.config import ServerConfig
+from repro.workloads.mixes import Mix
+from repro.workloads.profiles import WorkloadProfile
+
+#: The Fig. 12 strategies.
+CLUSTER_POLICY_NAMES = ("equal-rapl", "equal-ours", "consolidation-migration")
+
+#: Server policy each "equal" cluster strategy runs on every server.
+_SERVER_POLICY_OF = {
+    "equal-rapl": "util-unaware",
+    "equal-ours": "app+res+esd-aware",
+}
+
+
+@dataclass(frozen=True)
+class BinEvaluation:
+    """Steady-state outcome of one (policy, cap-bin) evaluation.
+
+    Attributes:
+        aggregate_perf: Sum over all applications of ``Perf/Perf_nocap``.
+        cluster_power_w: Mean cluster wall draw.
+        migrations: Placement changes charged when *entering* this bin
+            (consolidation only).
+    """
+
+    aggregate_perf: float
+    cluster_power_w: float
+    migrations: int = 0
+
+
+def evaluate_equal_policy_bin(
+    cluster_policy: str,
+    mixes: list[Mix],
+    per_server_cap_w: float,
+    *,
+    config: ServerConfig,
+    cache: dict[tuple[int, str, float], tuple[float, float]],
+    loaded_powers_w: list[float] | None = None,
+    duration_s: float = 40.0,
+    warmup_s: float = 15.0,
+    dt_s: float = 0.1,
+    seed: int = 0,
+) -> BinEvaluation:
+    """Evaluate an even-split strategy at one per-server cap.
+
+    Args:
+        cluster_policy: ``"equal-rapl"`` or ``"equal-ours"``.
+        mixes: One mix per loaded server.
+        per_server_cap_w: The loaded servers' share of the cluster cap.
+        config: Server hardware.
+        cache: Cross-bin memo ``(mix_id, policy, cap) -> (perf, power)``;
+            the caller owns it so it persists across bins and shaving
+            levels.
+        loaded_powers_w: Uncapped draw per mix, aligned with ``mixes``.
+            When the cap is at or above a server's uncapped draw it is
+            non-binding: the server runs uncapped (perf 2.0) without
+            simulation.
+        duration_s / warmup_s / dt_s / seed: Forwarded to the server
+            experiment.
+
+    Raises:
+        ConfigurationError: for unknown strategies.
+    """
+    try:
+        server_policy = _SERVER_POLICY_OF[cluster_policy]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown equal-split strategy {cluster_policy!r}; "
+            f"expected one of {sorted(_SERVER_POLICY_OF)}"
+        ) from None
+    total_perf = 0.0
+    total_power = 0.0
+    for idx, mix in enumerate(mixes):
+        uncapped_w = loaded_powers_w[idx] if loaded_powers_w is not None else None
+        if uncapped_w is not None and per_server_cap_w >= uncapped_w - 1e-9:
+            total_perf += float(len(mix.profiles()))
+            total_power += uncapped_w
+            continue
+        key = (mix.mix_id, server_policy, round(per_server_cap_w, 3))
+        if key not in cache:
+            if per_server_cap_w <= config.p_idle_w:
+                # No policy can push a server below its idle draw; the
+                # server parks at idle with nothing running. (Per-server
+                # caps this deep only arise from extreme shaving.)
+                cache[key] = (0.0, config.p_idle_w)
+            else:
+                result = run_mix_experiment(
+                    list(mix.profiles()),
+                    server_policy,
+                    per_server_cap_w,
+                    mix_id=mix.mix_id,
+                    config=config,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    dt_s=dt_s,
+                    seed=seed,
+                )
+                cache[key] = (result.server_throughput, result.mean_wall_power_w)
+        perf, power = cache[key]
+        total_perf += perf
+        total_power += power
+    return BinEvaluation(aggregate_perf=total_perf, cluster_power_w=total_power)
+
+
+def evaluate_consolidation_bin(
+    planner: ConsolidationPlanner,
+    apps: list[WorkloadProfile],
+    cluster_cap_w: float,
+    *,
+    n_servers: int,
+    previous_plan: ConsolidationPlan | None,
+    bin_duration_s: float,
+) -> tuple[BinEvaluation, ConsolidationPlan]:
+    """Evaluate consolidation+migration at one cluster cap.
+
+    Migration downtime is charged against the bin's aggregate performance:
+    each moved application loses ``migration_downtime_s`` of execution out
+    of ``bin_duration_s``.
+
+    Returns the evaluation and the plan (for migration accounting at the
+    next bin).
+    """
+    plan = planner.plan(apps, cluster_cap_w, n_servers=n_servers)
+    migrations = planner.migrations_between(previous_plan, plan)
+    perf = plan.aggregate_perf
+    if migrations and bin_duration_s > 0:
+        lost_fraction = min(1.0, planner.migration_downtime_s / bin_duration_s)
+        # Downtime hits the migrated apps only; approximate their share of
+        # the aggregate by the mean per-app perf.
+        per_app = perf / max(1, len(apps))
+        perf = max(0.0, perf - migrations * per_app * lost_fraction)
+    return (
+        BinEvaluation(
+            aggregate_perf=perf,
+            cluster_power_w=plan.total_power_w,
+            migrations=migrations,
+        ),
+        plan,
+    )

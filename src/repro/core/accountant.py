@@ -1,0 +1,141 @@
+"""Accountant: cap/app bookkeeping and event detection (Section III-C).
+
+"The accountant keeps track of the server power cap, scheduled applications,
+and the status of each application. ... The accountant periodically polls the
+status of the application and the server power draw. It triggers E3, if an
+application has finished execution. It triggers E4, if the power draw of an
+application changes significantly from its allocated power budget."
+
+E1 (cap change) and E2 (arrival) are explicit messages; the Accountant
+stamps and logs them. E3 and E4 come out of :meth:`Accountant.poll`, which
+the mediator calls once per tick. E4 detection is debounced (a configurable
+number of consecutive deviating polls) so transient knob-switching noise and
+duty-cycle edges do not thrash re-calibration, and suppressed entirely in
+temporal-coordination modes, where an application's instantaneous draw is
+*supposed* to swing between zero and its ON power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.core.coordinator import AllocationPlan, CoordinationMode
+from repro.core.events import (
+    ArrivalEvent,
+    CapChangeEvent,
+    DepartureEvent,
+    Event,
+    PhaseChangeEvent,
+)
+from repro.server.server import SimulatedServer, TickResult
+from repro.workloads.profiles import WorkloadProfile
+
+
+class Accountant:
+    """Polls server state and raises the E1-E4 events of the paper.
+
+    Args:
+        server: The server being watched.
+        deviation_threshold_w: Absolute per-app deviation from the allocated
+            budget that counts as "significant" for E4.
+        deviation_polls: Consecutive deviating polls before E4 fires.
+    """
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        *,
+        deviation_threshold_w: float = 3.0,
+        deviation_polls: int = 5,
+    ) -> None:
+        if deviation_threshold_w <= 0:
+            raise ConfigurationError("deviation_threshold_w must be positive")
+        if deviation_polls < 1:
+            raise ConfigurationError("deviation_polls must be at least 1")
+        self._server = server
+        self._threshold_w = deviation_threshold_w
+        self._deviation_polls = deviation_polls
+        self._p_cap_w: float | None = None
+        self._plan: AllocationPlan | None = None
+        self._deviation_counts: dict[str, int] = {}
+        self._suppressed: set[str] = set()
+        self._log: list[Event] = []
+
+    # ------------------------------------------------------------- messages
+
+    @property
+    def p_cap_w(self) -> float | None:
+        """The cap currently being enforced (``None`` before the first E1)."""
+        return self._p_cap_w
+
+    @property
+    def event_log(self) -> list[Event]:
+        """All events raised so far, in order (copies are cheap views)."""
+        return list(self._log)
+
+    def notify_cap_change(self, new_cap_w: float) -> CapChangeEvent:
+        """E1 message: the server's budget changed."""
+        if new_cap_w <= 0:
+            raise ConfigurationError("power cap must be positive")
+        self._p_cap_w = new_cap_w
+        event = CapChangeEvent(time_s=self._server.now_s, new_cap_w=new_cap_w)
+        self._log.append(event)
+        return event
+
+    def notify_arrival(self, profile: WorkloadProfile) -> ArrivalEvent:
+        """E2 message: a new application was scheduled here."""
+        event = ArrivalEvent(time_s=self._server.now_s, profile=profile)
+        self._log.append(event)
+        return event
+
+    def adopt_plan(self, plan: AllocationPlan) -> None:
+        """Reset deviation tracking against a fresh allocation."""
+        self._plan = plan
+        self._deviation_counts.clear()
+        self._suppressed.clear()
+
+    # -------------------------------------------------------------- polling
+
+    def poll(self, result: TickResult) -> list[Event]:
+        """Inspect one tick; returns any E3/E4 events raised.
+
+        E3: applications whose completion this tick reported.
+        E4: applications whose measured draw deviated from their allocated
+        budget for ``deviation_polls`` consecutive polls (SPACE mode only -
+        see the module docstring).
+        """
+        events: list[Event] = []
+        for name in result.completed:
+            event = DepartureEvent(time_s=result.time_s, app=name, completed=True)
+            self._log.append(event)
+            events.append(event)
+        if (
+            self._plan is not None
+            and self._plan.mode is CoordinationMode.SPACE
+            and self._plan.allocation is not None
+        ):
+            for name, expected in self._plan.allocation.apps.items():
+                if expected.excluded or name in self._suppressed:
+                    continue
+                if name in result.completed or name not in result.breakdown.app_w:
+                    continue
+                observed = result.breakdown.app_w[name]
+                if abs(observed - expected.power_w) > self._threshold_w:
+                    self._deviation_counts[name] = self._deviation_counts.get(name, 0) + 1
+                else:
+                    self._deviation_counts[name] = 0
+                if self._deviation_counts[name] >= self._deviation_polls:
+                    event = PhaseChangeEvent(
+                        time_s=result.time_s,
+                        app=name,
+                        observed_power_w=observed,
+                        allocated_power_w=expected.power_w,
+                    )
+                    self._log.append(event)
+                    events.append(event)
+                    # One E4 per app per plan epoch; the re-allocation it
+                    # triggers resets suppression via adopt_plan().
+                    self._suppressed.add(name)
+                    self._deviation_counts[name] = 0
+        return events

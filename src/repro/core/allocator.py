@@ -1,0 +1,261 @@
+"""PowerAllocator: apportioning the dynamic power budget (R1 + R2).
+
+Given each co-located application's candidate set (its power/performance
+response over the knob space, measured or estimated) and the server's dynamic
+budget ``P_cap - P_idle - P_cm``, the allocator solves
+
+    maximize   sum_X Perf_X(knob_X) / Perf_X_nocap      (objective 1)
+    subject to sum_X P_X(knob_X) <= budget
+
+choosing one knob setting per application. Because each knob choice fixes
+*both* the app's total power and its division across direct resources, R1
+(per-app apportioning) and R2 (per-resource apportioning) are solved jointly.
+
+This is a multiple-choice knapsack. It is solved exactly (up to a watt
+discretization) by dynamic programming over the budget:
+
+* per-app choice sets are first reduced to their Pareto frontier (a dominated
+  knob - more power for no more performance - is never chosen);
+* power costs are rounded *up* to the grid so discretization can never cause
+  a cap overshoot;
+* an application may be *excluded* (not scheduled this epoch, cost 0,
+  utility 0) - that is how the allocator signals that the budget cannot host
+  everyone and temporal coordination must take over (R3b/R4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, PowerBudgetError
+from repro.core.utility import CandidateSet, pareto_envelope
+from repro.server.config import KnobSetting
+
+
+@dataclass(frozen=True)
+class AppAllocation:
+    """The allocator's decision for one application.
+
+    Attributes:
+        app: Application name.
+        excluded: ``True`` when the app gets no power this epoch (temporal
+            coordination will schedule it).
+        knob: Chosen knob setting (the app's minimum-power knob when
+            excluded, so a coordinator can still run it in its time slot).
+        power_w: Expected ``P_X`` at the chosen knob (0 when excluded).
+        relative_perf: Expected ``Perf/Perf_nocap`` at the chosen knob
+            (0 when excluded).
+    """
+
+    app: str
+    excluded: bool
+    knob: KnobSetting
+    power_w: float
+    relative_perf: float
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A complete apportioning of the dynamic budget.
+
+    Attributes:
+        budget_w: The dynamic budget that was divided.
+        apps: Per-application decisions, keyed by name.
+        objective: Achieved sum of relative performances (objective 1).
+    """
+
+    budget_w: float
+    apps: dict[str, AppAllocation]
+    objective: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Expected total application power under this allocation."""
+        return sum(a.power_w for a in self.apps.values() if not a.excluded)
+
+    @property
+    def included(self) -> list[str]:
+        """Apps scheduled to run simultaneously, sorted."""
+        return sorted(n for n, a in self.apps.items() if not a.excluded)
+
+    @property
+    def excluded(self) -> list[str]:
+        """Apps the budget could not host, sorted."""
+        return sorted(n for n, a in self.apps.items() if a.excluded)
+
+    def share_of(self, app: str) -> float:
+        """The app's fraction of the allocated application power (the
+        paper's 46%-54% style splits). Zero when excluded or nothing runs."""
+        total = self.total_power_w
+        if total <= 0:
+            return 0.0
+        alloc = self.apps[app]
+        return 0.0 if alloc.excluded else alloc.power_w / total
+
+
+class PowerAllocator:
+    """Exact multiple-choice-knapsack apportioning of the dynamic budget.
+
+    Args:
+        grain_w: Budget discretization. 0.25 W keeps rounding loss well
+            under the knob space's own power granularity.
+        allow_exclusion: Permit scheduling only a subset (needed whenever
+            the budget cannot host every app's cheapest config). Disable to
+            make :meth:`allocate` raise instead - useful in tests.
+    """
+
+    def __init__(self, *, grain_w: float = 0.25, allow_exclusion: bool = True) -> None:
+        if grain_w <= 0:
+            raise ConfigurationError("grain_w must be positive")
+        self._grain_w = grain_w
+        self._allow_exclusion = allow_exclusion
+
+    @property
+    def grain_w(self) -> float:
+        return self._grain_w
+
+    def allocate(
+        self, candidates: dict[str, CandidateSet], budget_w: float
+    ) -> Allocation:
+        """Divide ``budget_w`` across the applications in ``candidates``.
+
+        Returns:
+            The optimal :class:`Allocation` (up to discretization). Because
+            power costs are rounded *up* to the grid, the DP can lose a
+            boundary configuration the exact arithmetic would admit; the
+            result is therefore floored at the exact fair split, so the
+            utility-aware allocator never returns a worse plan than the
+            utility-blind fallback.
+
+        Raises:
+            PowerBudgetError: when exclusion is disabled and the budget
+                cannot host every application simultaneously.
+            ConfigurationError: on an empty candidate map.
+        """
+        if not candidates:
+            raise ConfigurationError("no applications to allocate power to")
+        names = sorted(candidates)
+        budget = max(0.0, budget_w)
+        steps = int(math.floor(budget / self._grain_w))
+
+        # Per-app options: (grid cost, utility, knob index); option index 0
+        # is always "excluded".
+        options: dict[str, list[tuple[int, float, int | None]]] = {}
+        for name in names:
+            cset = candidates[name]
+            opts: list[tuple[int, float, int | None]] = [(0, 0.0, None)]
+            for idx in pareto_envelope(cset):
+                cost = int(math.ceil(cset.power_w[idx] / self._grain_w - 1e-9))
+                if cost <= steps:
+                    utility = float(cset.perf[idx] / cset.perf_nocap)
+                    # A tiny inclusion bonus breaks ties toward running the
+                    # app rather than idling it for equal objective value.
+                    opts.append((cost, utility + 1e-9, idx))
+            options[name] = opts
+            if len(opts) == 1 and not self._allow_exclusion:
+                raise PowerBudgetError(
+                    f"budget {budget_w:.2f} W cannot host {name!r} "
+                    f"(cheapest config needs {cset.min_power_w:.2f} W) and "
+                    "exclusion is disabled"
+                )
+
+        # DP over apps x budget grid, tracking the chosen option per cell.
+        neg_inf = -np.inf
+        value = np.zeros(steps + 1)
+        choice = np.zeros((len(names), steps + 1), dtype=int)
+        for i, name in enumerate(names):
+            new_value = np.full(steps + 1, neg_inf)
+            for opt_idx, (cost, utility, _) in enumerate(options[name]):
+                if cost > steps:
+                    continue
+                shifted = np.full(steps + 1, neg_inf)
+                if cost == 0:
+                    shifted = value + utility
+                else:
+                    shifted[cost:] = value[: steps + 1 - cost] + utility
+                better = shifted > new_value
+                new_value = np.where(better, shifted, new_value)
+                choice[i][better] = opt_idx
+            value = new_value
+
+        best_w = int(np.argmax(value))
+        objective = float(value[best_w])
+
+        # Backtrack the chosen options.
+        apps: dict[str, AppAllocation] = {}
+        w = best_w
+        for i in range(len(names) - 1, -1, -1):
+            name = names[i]
+            opt_idx = int(choice[i][w])
+            cost, utility, knob_idx = options[name][opt_idx]
+            cset = candidates[name]
+            if knob_idx is None:
+                min_idx = int(np.argmin(cset.power_w))
+                apps[name] = AppAllocation(
+                    app=name,
+                    excluded=True,
+                    knob=cset.knobs[min_idx],
+                    power_w=0.0,
+                    relative_perf=0.0,
+                )
+                if not self._allow_exclusion:
+                    raise PowerBudgetError(
+                        f"budget {budget_w:.2f} W cannot host all of {names} "
+                        "simultaneously and exclusion is disabled"
+                    )
+            else:
+                apps[name] = AppAllocation(
+                    app=name,
+                    excluded=False,
+                    knob=cset.knobs[knob_idx],
+                    power_w=float(cset.power_w[knob_idx]),
+                    relative_perf=float(cset.perf[knob_idx] / cset.perf_nocap),
+                )
+            w -= cost
+        dp_result = Allocation(budget_w=budget_w, apps=apps, objective=objective)
+        fair = self.allocate_fair(candidates, budget_w)
+        if fair.excluded and not self._allow_exclusion:
+            return dp_result
+        return dp_result if dp_result.objective >= fair.objective else fair
+
+    def allocate_fair(
+        self, candidates: dict[str, CandidateSet], budget_w: float
+    ) -> Allocation:
+        """Equal per-app budgets with per-app best-fit knobs.
+
+        This is *not* the paper's proposal - it is the building block of the
+        fairness-oriented baselines: each application independently gets
+        ``budget / k`` and picks its best configuration underneath it.
+        """
+        if not candidates:
+            raise ConfigurationError("no applications to allocate power to")
+        names = sorted(candidates)
+        share = max(0.0, budget_w) / len(names)
+        apps: dict[str, AppAllocation] = {}
+        objective = 0.0
+        for name in names:
+            cset = candidates[name]
+            idx = cset.best_index_under(share)
+            if idx is None:
+                min_idx = int(np.argmin(cset.power_w))
+                apps[name] = AppAllocation(
+                    app=name,
+                    excluded=True,
+                    knob=cset.knobs[min_idx],
+                    power_w=0.0,
+                    relative_perf=0.0,
+                )
+            else:
+                rel = float(cset.perf[idx] / cset.perf_nocap)
+                apps[name] = AppAllocation(
+                    app=name,
+                    excluded=False,
+                    knob=cset.knobs[idx],
+                    power_w=float(cset.power_w[idx]),
+                    relative_perf=rel,
+                )
+                objective += rel
+        return Allocation(budget_w=budget_w, apps=apps, objective=objective)

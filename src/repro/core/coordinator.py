@@ -1,0 +1,254 @@
+"""Coordinator: executing an allocation in space and/or time (R3 + R4).
+
+The :class:`~repro.core.allocator.PowerAllocator` decides *how much* power
+each application gets; the Coordinator decides *when* each application draws
+it so the server's instantaneous wall power never exceeds the cap:
+
+* **SPACE** (R3a) - every application received a runnable budget: all run
+  simultaneously at their allocated knobs. Preferred because private-cache
+  state stays warm.
+* **TIME** (R3b) - the budget cannot host everyone at once: applications
+  rotate through exclusive slots; whoever is ON may use (up to) the whole
+  dynamic budget at its slot knob; the others are suspended (and pay the
+  private-cache refill penalty on resume).
+* **ESD** (R4) - with energy storage, all applications share consolidated
+  OFF (package deep sleep, battery banks the cap headroom) and ON (all run,
+  battery covers the overshoot) phases per Eq. (5), amortizing ``P_cm``.
+* **IDLE** - the cap cannot host even chip-maintenance power and no ESD is
+  available: everything is suspended and the package sleeps.
+
+The Coordinator is deliberately mechanical: it executes an
+:class:`AllocationPlan` produced by a policy, tick by tick, and owns nothing
+about *why* the plan looks the way it does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.core.allocator import Allocation
+from repro.esd.controller import DutyCycle, EsdController, Phase
+from repro.server.config import KnobSetting
+from repro.server.server import SimulatedServer
+
+
+class CoordinationMode(enum.Enum):
+    """How the plan multiplexes power (see module docstring)."""
+
+    SPACE = "space"
+    TIME = "time"
+    ESD = "esd"
+    IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class TimeSlot:
+    """One slot of a TIME-mode rotation.
+
+    Attributes:
+        apps: Applications executing during this slot (empty = idle slot).
+        duration_s: Slot length.
+        knobs: Knob settings in force during the slot, per app.
+    """
+
+    apps: tuple[str, ...]
+    duration_s: float
+    knobs: dict[str, KnobSetting] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("slot duration must be positive")
+        missing = set(self.apps) - set(self.knobs)
+        if missing:
+            raise ConfigurationError(f"slot lacks knobs for {sorted(missing)}")
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """A policy's complete decision for one allocation epoch.
+
+    Attributes:
+        mode: The coordination mode.
+        p_cap_w: The server cap the plan was built for.
+        allocation: The power apportioning behind the plan (kept for
+            reporting - Fig. 8b's splits come from here).
+        knobs: Per-app knobs for SPACE mode and for the ESD ON phase.
+        slots: The TIME-mode rotation (cyclic); empty otherwise.
+        duty_cycle: The Eq. (5) schedule for ESD mode; ``None`` otherwise.
+    """
+
+    mode: CoordinationMode
+    p_cap_w: float
+    allocation: Allocation | None = None
+    knobs: dict[str, KnobSetting] = field(default_factory=dict)
+    slots: tuple[TimeSlot, ...] = ()
+    duty_cycle: DutyCycle | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode is CoordinationMode.TIME and not self.slots:
+            raise ConfigurationError("TIME mode requires at least one slot")
+        if self.mode is CoordinationMode.ESD and self.duty_cycle is None:
+            raise ConfigurationError("ESD mode requires a duty cycle")
+
+
+@dataclass(frozen=True)
+class CoordinatorAction:
+    """What the engine should be told for this tick.
+
+    Attributes:
+        esd_charge_w / esd_discharge_w: Battery flows already applied to the
+            battery; forwarded into the power equation.
+        deep_sleep: Whether the package should be in PC6 this tick.
+    """
+
+    esd_charge_w: float = 0.0
+    esd_discharge_w: float = 0.0
+    deep_sleep: bool = False
+
+
+class Coordinator:
+    """Executes :class:`AllocationPlan` objects against a server.
+
+    Args:
+        server: The server whose knobs/suspension the coordinator drives.
+        esd_controller: Present only when the active plan uses the battery.
+    """
+
+    def __init__(self, server: SimulatedServer) -> None:
+        self._server = server
+        self._plan: AllocationPlan | None = None
+        self._esd: EsdController | None = None
+        self._slot_index = 0
+        self._slot_elapsed_s = 0.0
+        self._esd_on = False
+
+    @property
+    def plan(self) -> AllocationPlan | None:
+        return self._plan
+
+    @property
+    def esd_controller(self) -> EsdController | None:
+        return self._esd
+
+    def adopt(self, plan: AllocationPlan, *, esd_controller: EsdController | None = None) -> None:
+        """Switch to a new plan and actuate its initial state.
+
+        Raises:
+            ConfigurationError: for an ESD plan without a controller.
+        """
+        if plan.mode is CoordinationMode.ESD and esd_controller is None:
+            raise ConfigurationError("an ESD plan needs an EsdController")
+        self._plan = plan
+        self._esd = esd_controller
+        self._slot_index = 0
+        self._slot_elapsed_s = 0.0
+        self._esd_on = False
+        if plan.mode is CoordinationMode.SPACE:
+            self._actuate_space(plan)
+        elif plan.mode is CoordinationMode.TIME:
+            self._actuate_slot(plan.slots[0])
+        elif plan.mode is CoordinationMode.ESD:
+            self._suspend_all()
+        else:  # IDLE
+            self._suspend_all()
+
+    def step(self, dt_s: float) -> CoordinatorAction:
+        """Advance the plan by one tick; returns the engine instructions.
+
+        Raises:
+            SimulationError: when no plan has been adopted.
+        """
+        if self._plan is None:
+            raise SimulationError("coordinator has no plan; call adopt() first")
+        mode = self._plan.mode
+        if mode is CoordinationMode.SPACE:
+            return CoordinatorAction()
+        if mode is CoordinationMode.TIME:
+            self._advance_rotation(dt_s)
+            return CoordinatorAction()
+        if mode is CoordinationMode.ESD:
+            return self._step_esd(dt_s)
+        # IDLE: stay suspended; deep-sleep to fit under a sub-P_cm cap.
+        return CoordinatorAction(deep_sleep=True)
+
+    # ------------------------------------------------------------ internals
+
+    def _managed_apps(self) -> list[str]:
+        """Admitted, not-yet-completed applications."""
+        return [
+            name
+            for name in self._server.applications()
+            if not self._server.handle_of(name).completed
+        ]
+
+    def _actuate_space(self, plan: AllocationPlan) -> None:
+        for name in self._managed_apps():
+            knob = plan.knobs.get(name)
+            if knob is None:
+                self._server.suspend(name)
+            else:
+                self._server.knobs.set_knob(name, knob)
+                self._server.resume(name)
+
+    def _actuate_slot(self, slot: TimeSlot) -> None:
+        running = set(slot.apps)
+        for name in self._managed_apps():
+            if name in running:
+                self._server.knobs.set_knob(name, slot.knobs[name])
+                self._server.resume(name)
+            else:
+                self._server.suspend(name)
+
+    def _suspend_all(self) -> None:
+        for name in self._managed_apps():
+            self._server.suspend(name)
+
+    def _advance_rotation(self, dt_s: float) -> None:
+        assert self._plan is not None
+        slots = self._plan.slots
+        self._slot_elapsed_s += dt_s
+        advanced = False
+        # A long tick may skip whole slots; loop until inside the current one.
+        while self._slot_elapsed_s >= slots[self._slot_index].duration_s - 1e-12:
+            self._slot_elapsed_s -= slots[self._slot_index].duration_s
+            self._slot_index = (self._slot_index + 1) % len(slots)
+            advanced = True
+        if advanced:
+            self._actuate_slot(slots[self._slot_index])
+
+    def _esd_required_w(self, dt_s: float) -> float:
+        """The *measured* overshoot an ON tick would incur: true served
+        power of the plan's ON set over the cap."""
+        assert self._plan is not None
+        running = {}
+        for name in self._managed_apps():
+            knob = self._plan.knobs.get(name)
+            if knob is not None:
+                running[name] = (self._server.handle_of(name).profile, knob)
+        served = self._server.power_model.server_breakdown(running).served_w
+        return max(0.0, served - self._plan.p_cap_w)
+
+    def _step_esd(self, dt_s: float) -> CoordinatorAction:
+        assert self._plan is not None and self._esd is not None
+        phase = self._esd.begin_tick(dt_s)
+        required_w = self._esd_required_w(dt_s)
+        if phase is Phase.ON and self._esd.can_boost(dt_s, required_w=required_w):
+            if not self._esd_on:
+                for name in self._managed_apps():
+                    knob = self._plan.knobs.get(name)
+                    if knob is not None:
+                        self._server.knobs.set_knob(name, knob)
+                        self._server.resume(name)
+                self._esd_on = True
+            discharge_w = self._esd.boost(dt_s, required_w=required_w)
+            return CoordinatorAction(esd_discharge_w=discharge_w)
+        # OFF phase, or a battery exhausted mid-ON: everyone sleeps and the
+        # cap headroom banks into the battery.
+        if phase is Phase.ON:
+            self._esd.abort_on_phase()
+        self._suspend_all()
+        self._esd_on = False
+        charge_w = self._esd.bank(dt_s)
+        return CoordinatorAction(esd_charge_w=charge_w, deep_sleep=True)

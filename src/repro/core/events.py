@@ -1,0 +1,82 @@
+"""Re-allocation/re-calibration events (Section III-C of the paper).
+
+The system reacts to four event kinds:
+
+* **E1** - the server's power cap changed (datacenter-level re-budgeting);
+* **E2** - a new application arrived (triggers calibration + re-allocation);
+* **E3** - an application departed (its budget is redistributed);
+* **E4** - an application's behaviour changed (phase change / load shift;
+  triggers re-calibration of its utility curves + re-allocation).
+
+E1 and E2 arrive as explicit messages to the Accountant; E3 and E4 are
+detected by its polling loop. All events are immutable records so the
+mediator's timeline is audit-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: something at ``time_s`` requiring mediator action.
+
+    Attributes:
+        time_s: Simulation time the event was raised.
+    """
+
+    time_s: float
+
+
+@dataclass(frozen=True)
+class CapChangeEvent(Event):
+    """E1: the server power cap changed.
+
+    Attributes:
+        new_cap_w: The cap in force from ``time_s`` onward.
+    """
+
+    new_cap_w: float
+
+
+@dataclass(frozen=True)
+class ArrivalEvent(Event):
+    """E2: a new application was scheduled onto this server.
+
+    Attributes:
+        profile: The arriving application.
+    """
+
+    profile: WorkloadProfile
+
+
+@dataclass(frozen=True)
+class DepartureEvent(Event):
+    """E3: an application finished (or was removed).
+
+    Attributes:
+        app: Name of the departed application.
+        completed: ``True`` for natural completion, ``False`` for forced
+            removal (cancellation, migration away).
+    """
+
+    app: str
+    completed: bool
+
+
+@dataclass(frozen=True)
+class PhaseChangeEvent(Event):
+    """E4: an application's power behaviour deviated from its allocation.
+
+    Attributes:
+        app: The application whose utilities need re-calibration.
+        observed_power_w: The draw that tripped the detector.
+        allocated_power_w: What the allocator had budgeted.
+    """
+
+    app: str
+    observed_power_w: float
+    allocated_power_w: float

@@ -1,0 +1,598 @@
+"""PowerMediator: the top-level framework object (the paper's Fig. 6).
+
+One mediator manages one server under one policy:
+
+* it owns the **utility pipeline** - an exhaustively profiled corpus of
+  previously seen applications, a trained collaborative estimator, and the
+  online sampler that calibrates each arriving application;
+* it reacts to the **events** the Accountant raises (E1 cap change, E2
+  arrival, E3 departure, E4 phase change) by re-calibrating and/or
+  re-allocating;
+* every allocation epoch it builds a :class:`~repro.core.policies.PolicyContext`,
+  asks the policy for an :class:`~repro.core.coordinator.AllocationPlan`,
+  and hands the plan to the Coordinator, which executes it tick by tick;
+* it records a per-tick **timeline** (powers, knobs, battery state) from
+  which every figure of the paper is rebuilt.
+
+Overheads are charged honestly: an arriving application spends the
+calibration/re-allocation latency (~800 ms on the paper's server) suspended
+while the rest of the system keeps running under the old plan, exactly as the
+paper's Fig. 11a timeline shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.core.accountant import Accountant
+from repro.core.coordinator import AllocationPlan, CoordinationMode, Coordinator, TimeSlot
+from repro.core.events import DepartureEvent, Event, PhaseChangeEvent
+from repro.core.policies import Policy, PolicyContext
+from repro.core.utility import CandidateSet
+from repro.esd.battery import LeadAcidBattery
+from repro.esd.controller import EsdController, compute_duty_cycle
+from repro.learning.collaborative import CollaborativeEstimator
+from repro.learning.crossval import build_exhaustive_corpus
+from repro.learning.matrix import PreferenceMatrix
+from repro.learning.sampling import Sampler, StratifiedSampler
+from repro.server.config import KnobSetting
+from repro.server.server import ApplicationHandle, SimulatedServer
+from repro.workloads.catalog import CATALOG
+from repro.workloads.generator import PhasedProfile
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class TickRecord:
+    """One timeline sample (the raw material of Figs. 8, 10, 11, 12).
+
+    Attributes:
+        time_s: End-of-tick simulation time.
+        p_cap_w: Cap in force.
+        wall_w: Server wall power.
+        mode: Coordination mode in force.
+        app_power_w: Per-app instantaneous ``P_X``.
+        app_knobs: Per-app knob settings (running apps only).
+        progressed: Work completed this tick per app.
+        battery_soc: Battery state of charge (``None`` without an ESD).
+    """
+
+    time_s: float
+    p_cap_w: float
+    wall_w: float
+    mode: CoordinationMode
+    app_power_w: dict[str, float]
+    app_knobs: dict[str, KnobSetting]
+    progressed: dict[str, float]
+    battery_soc: float | None
+
+
+@dataclass
+class ManagedApp:
+    """Mediator-side record of one application under management.
+
+    Attributes:
+        profile: Current profile (phased workloads swap it at boundaries).
+        phased: The phase script, when the workload is dynamic.
+        arrived_at_s: Admission time.
+        peak_rate: Uncapped rate of the *current* profile (the normalization
+            denominator for this app's throughput).
+    """
+
+    profile: WorkloadProfile
+    phased: PhasedProfile | None
+    arrived_at_s: float
+    peak_rate: float
+
+
+class PowerMediator:
+    """Power-struggle mediation for one server under one policy.
+
+    Args:
+        server: The server to manage.
+        policy: One of the paper's five schemes.
+        p_cap_w: Initial power cap (E1 messages can change it later).
+        battery: The server's ESD; required by ESD-aware policies.
+        corpus: Previously-seen-application matrices; defaults to an
+            exhaustive profiling of the full catalog *excluding* nothing -
+            experiments studying cold-start can pass their own.
+        sampler: Online sampling strategy for calibration (default:
+            stratified at the paper's 10%).
+        use_oracle_estimates: Bypass the learning pipeline and hand policies
+            the true response surfaces; used to separate policy quality from
+            estimation error in ablations.
+        power_noise_std_w / perf_noise_relative_std: Measurement noise on
+            online calibration samples.
+        dt_s: Tick length for :meth:`run_for`.
+        seed: Seed for calibration noise.
+    """
+
+    def __init__(
+        self,
+        server: SimulatedServer,
+        policy: Policy,
+        p_cap_w: float,
+        *,
+        battery: LeadAcidBattery | None = None,
+        corpus: PreferenceMatrix | None = None,
+        sampler: Sampler | None = None,
+        use_oracle_estimates: bool = False,
+        power_noise_std_w: float = 0.3,
+        perf_noise_relative_std: float = 0.02,
+        dt_s: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if dt_s <= 0:
+            raise ConfigurationError("dt_s must be positive")
+        if policy.uses_esd and battery is None:
+            raise ConfigurationError(f"policy {policy.name!r} requires a battery")
+        self._server = server
+        self._policy = policy
+        self._battery = battery
+        self._dt_s = dt_s
+        self._rng = np.random.default_rng(seed)
+        self._power_noise_std_w = power_noise_std_w
+        self._perf_noise_relative_std = perf_noise_relative_std
+        self._sampler = sampler if sampler is not None else StratifiedSampler(0.10, seed=seed)
+        self._use_oracle = use_oracle_estimates
+
+        self._coordinator = Coordinator(server)
+        self._accountant = Accountant(server)
+        self._accountant.notify_cap_change(p_cap_w)
+
+        self._corpus = (
+            corpus
+            if corpus is not None
+            else build_exhaustive_corpus(server.config, list(CATALOG.values()))
+        )
+        self._estimator: CollaborativeEstimator | None = None
+        self._population: CandidateSet | None = None
+        self._estimates: dict[str, CandidateSet] = {}
+        self._oracle: dict[str, CandidateSet] = {}
+        self._managed: dict[str, ManagedApp] = {}
+        self._finished: dict[str, ApplicationHandle] = {}
+        self._finished_peaks: dict[str, float] = {}
+        self._timeline: list[TickRecord] = []
+        self._calibration_pending_s = 0.0
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def server(self) -> SimulatedServer:
+        return self._server
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    @property
+    def p_cap_w(self) -> float:
+        cap = self._accountant.p_cap_w
+        assert cap is not None  # set in __init__
+        return cap
+
+    @property
+    def coordinator(self) -> Coordinator:
+        return self._coordinator
+
+    @property
+    def accountant(self) -> Accountant:
+        return self._accountant
+
+    @property
+    def timeline(self) -> list[TickRecord]:
+        """The recorded per-tick history (live list; treat as read-only)."""
+        return self._timeline
+
+    @property
+    def battery(self) -> LeadAcidBattery | None:
+        return self._battery
+
+    def managed_apps(self) -> list[str]:
+        """Applications currently under management, sorted."""
+        return sorted(self._managed)
+
+    def finished_handle(self, app: str) -> ApplicationHandle:
+        """Final handle of a departed application.
+
+        Raises:
+            SchedulingError: if the app never finished here.
+        """
+        try:
+            return self._finished[app]
+        except KeyError:
+            raise SchedulingError(f"{app!r} has not finished on this server") from None
+
+    def peak_rate_of(self, app: str) -> float:
+        """The uncapped rate used to normalize the app's throughput.
+
+        For departed applications the rate recorded at departure is used,
+        so narrow-group apps stay normalized to the peak of the core group
+        they actually had.
+        """
+        if app in self._managed:
+            return self._managed[app].peak_rate
+        if app in self._finished:
+            return self._finished_peaks[app]
+        raise SchedulingError(f"{app!r} is not known to this mediator")
+
+    # ------------------------------------------------------------- messages
+
+    def set_power_cap(self, new_cap_w: float) -> None:
+        """E1: adopt a new cap and re-allocate immediately."""
+        self._accountant.notify_cap_change(new_cap_w)
+        if self._managed:
+            self.reallocate()
+
+    def add_application(
+        self,
+        profile: WorkloadProfile,
+        *,
+        phased: PhasedProfile | None = None,
+        skip_overhead: bool = False,
+        group_width: int | None = None,
+    ) -> None:
+        """E2: admit, calibrate, and re-allocate.
+
+        The new application sits suspended for the calibration/re-allocation
+        latency (charged on the next :meth:`run_for` ticks) while incumbents
+        keep running under the old plan - matching the paper's measured
+        ~800 ms settling window.
+
+        Args:
+            profile: The application (or the initial segment when phased).
+            phased: Optional phase script driving E4 events later.
+            skip_overhead: Skip the latency charge (used by tests).
+            group_width: Cores to reserve (default: the knob maximum).
+                Narrower groups admit more than two applications with full
+                direct-resource isolation; the app's knob space, candidate
+                sets and allocations are restricted accordingly.
+        """
+        if phased is not None and phased.initial != profile:
+            raise ConfigurationError("profile must be the phased workload's initial segment")
+        self._accountant.notify_arrival(profile)
+        self._server.admit(profile, start_suspended=True, group_width=group_width)
+        self._managed[profile.name] = ManagedApp(
+            profile=profile,
+            phased=phased,
+            arrived_at_s=self._server.now_s,
+            peak_rate=self._width_peak_rate(profile, profile.name),
+        )
+        self._refresh_views(profile.name)
+        if not skip_overhead:
+            self._calibration_pending_s += self._server.config.reallocation_latency_s
+        self.reallocate()
+
+    def remove_application(self, app: str, *, completed: bool = False) -> ApplicationHandle:
+        """E3 (forced variant): remove an app and re-allocate the headroom."""
+        handle = self._server.remove(app)
+        self._finished[app] = handle
+        self._finished_peaks[app] = self._managed[app].peak_rate
+        self._managed.pop(app, None)
+        self._estimates.pop(app, None)
+        self._oracle.pop(app, None)
+        if not completed:
+            # Natural completions were already logged by the Accountant.
+            self._accountant._log.append(  # noqa: SLF001 - mediator is the owner
+                DepartureEvent(time_s=self._server.now_s, app=app, completed=False)
+            )
+        if self._managed:
+            self.reallocate()
+        return handle
+
+    # ----------------------------------------------------------- allocation
+
+    def reallocate(self) -> AllocationPlan:
+        """Build a context, plan, and hand the plan to the Coordinator."""
+        if not self._managed:
+            raise SchedulingError("no applications to allocate power to")
+        ctx = PolicyContext(
+            config=self._server.config,
+            p_cap_w=self.p_cap_w,
+            oracle=dict(self._oracle),
+            estimates=dict(self._estimates),
+            population=self._get_population(),
+            battery=self._battery,
+        )
+        plan = self._guard_plan(self._policy.plan(ctx))
+        esd_controller = None
+        if plan.mode is CoordinationMode.ESD:
+            assert self._battery is not None and plan.duty_cycle is not None
+            esd_controller = EsdController(self._battery, plan.duty_cycle)
+        self._coordinator.adopt(plan, esd_controller=esd_controller)
+        self._accountant.adopt_plan(plan)
+        return plan
+
+    def _guard_plan(self, plan: AllocationPlan) -> AllocationPlan:
+        """Per-application RAPL guard: enforce each app's allocated budget
+        by *true* power.
+
+        Utility-aware policies choose knobs from estimates; when estimation
+        error makes a chosen knob's true draw exceed the app's budget, the
+        hardware power limit would clamp it. The guard models that clamp by
+        replacing the knob with the best true-power-feasible one under the
+        same budget (and suspending the app when nothing fits). This is the
+        mechanism that keeps the wall under the cap despite estimation
+        error - the performance cost of bad estimates remains, through
+        mis-divided budgets and under-used allocations.
+        """
+        if plan.mode is CoordinationMode.IDLE or plan.allocation is None:
+            return plan
+
+        def trimmed(name: str, knob: KnobSetting, budget_w: float) -> KnobSetting | None:
+            oracle = self._oracle[name]
+            if oracle.power_w[oracle.index_of(knob)] <= budget_w + 1e-9:
+                return knob
+            idx = oracle.best_index_under(budget_w)
+            return oracle.knobs[idx] if idx is not None else None
+
+        if plan.mode is CoordinationMode.SPACE:
+            knobs: dict[str, KnobSetting] = {}
+            for name, knob in plan.knobs.items():
+                budget = plan.allocation.apps[name].power_w
+                new = trimmed(name, knob, budget)
+                if new is not None:
+                    knobs[name] = new
+            return AllocationPlan(
+                mode=plan.mode,
+                p_cap_w=plan.p_cap_w,
+                allocation=plan.allocation,
+                knobs=knobs,
+            )
+
+        if plan.mode is CoordinationMode.TIME:
+            budget = self._server.config.dynamic_budget_w(plan.p_cap_w)
+            slots = []
+            for slot in plan.slots:
+                slot_knobs: dict[str, KnobSetting] = {}
+                apps = []
+                for name in slot.apps:
+                    new = trimmed(name, slot.knobs[name], budget)
+                    if new is not None:
+                        apps.append(name)
+                        slot_knobs[name] = new
+                if apps:
+                    slots.append(
+                        TimeSlot(apps=tuple(apps), duration_s=slot.duration_s, knobs=slot_knobs)
+                    )
+            if not slots:
+                return AllocationPlan(
+                    mode=CoordinationMode.IDLE,
+                    p_cap_w=plan.p_cap_w,
+                    allocation=plan.allocation,
+                )
+            return AllocationPlan(
+                mode=plan.mode,
+                p_cap_w=plan.p_cap_w,
+                allocation=plan.allocation,
+                slots=tuple(slots),
+            )
+
+        # ESD: trim the ON-phase knobs to their budgets, then recompute the
+        # Eq. (5) schedule from the *true* ON-phase powers (the paper tunes
+        # the duty cycle from measured draws).
+        assert self._battery is not None
+        knobs = {}
+        true_sum = 0.0
+        for name, knob in plan.knobs.items():
+            budget = plan.allocation.apps[name].power_w
+            new = trimmed(name, knob, budget)
+            if new is not None:
+                knobs[name] = new
+                oracle = self._oracle[name]
+                true_sum += float(oracle.power_w[oracle.index_of(new)])
+        if not knobs:
+            return AllocationPlan(
+                mode=CoordinationMode.IDLE,
+                p_cap_w=plan.p_cap_w,
+                allocation=plan.allocation,
+            )
+        cfg = self._server.config
+        cycle = compute_duty_cycle(
+            p_idle_w=cfg.p_idle_w,
+            p_cm_w=cfg.p_cm_w,
+            sum_app_w=true_sum,
+            p_cap_w=plan.p_cap_w,
+            efficiency=self._battery.efficiency,
+            period_s=cfg.duty_cycle_period_s,
+        )
+        return AllocationPlan(
+            mode=plan.mode,
+            p_cap_w=plan.p_cap_w,
+            allocation=plan.allocation,
+            knobs=knobs,
+            duty_cycle=cycle,
+        )
+
+    # ------------------------------------------------------------- execution
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance the simulation, handling events as they arise.
+
+        Raises:
+            ConfigurationError: on a non-positive duration.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        end = self._server.now_s + duration_s
+        while self._server.now_s < end - 1e-9:
+            self._one_tick()
+
+    def _one_tick(self) -> None:
+        dt = self._dt_s
+        # Calibration latency: the newest arrival stays suspended while the
+        # measurement/optimization pipeline settles.
+        if self._calibration_pending_s > 0:
+            self._calibration_pending_s = max(0.0, self._calibration_pending_s - dt)
+        action = self._coordinator.step(dt)
+        result = self._server.tick(
+            dt,
+            esd_charge_w=action.esd_charge_w,
+            esd_discharge_w=action.esd_discharge_w,
+            deep_sleep=action.deep_sleep,
+        )
+        self._server.assert_within_cap(self.p_cap_w, tolerance_w=1e-6)
+        plan = self._coordinator.plan
+        self._timeline.append(
+            TickRecord(
+                time_s=result.time_s,
+                p_cap_w=self.p_cap_w,
+                wall_w=result.breakdown.wall_w,
+                mode=plan.mode if plan is not None else CoordinationMode.IDLE,
+                app_power_w=dict(result.breakdown.app_w),
+                app_knobs={
+                    name: self._server.knobs.knob_of(name)
+                    for name in result.breakdown.app_w
+                },
+                progressed=dict(result.progressed),
+                battery_soc=self._battery.soc if self._battery is not None else None,
+            )
+        )
+        self._check_phase_boundaries()
+        for event in self._accountant.poll(result):
+            self._handle_event(event)
+
+    def _handle_event(self, event: Event) -> None:
+        if isinstance(event, DepartureEvent):
+            handle = self._server.remove(event.app)
+            self._finished[event.app] = handle
+            self._finished_peaks[event.app] = self._managed[event.app].peak_rate
+            self._managed.pop(event.app, None)
+            self._estimates.pop(event.app, None)
+            self._oracle.pop(event.app, None)
+            if self._managed:
+                self.reallocate()
+        elif isinstance(event, PhaseChangeEvent):
+            # Re-calibrate the deviating application, then re-allocate.
+            self._refresh_views(event.app)
+            self._calibration_pending_s += self._server.config.reallocation_latency_s
+            self.reallocate()
+
+    def _check_phase_boundaries(self) -> None:
+        """Swap phased profiles at their progress boundaries.
+
+        The swap changes the app's true behaviour; the Accountant's E4
+        detector then notices the power deviation and triggers
+        re-calibration, exactly as on the real system.
+        """
+        for name, managed in self._managed.items():
+            if managed.phased is None:
+                continue
+            handle = self._server.handle_of(name)
+            before = managed.profile
+            after = managed.phased.profile_at(handle.progress_fraction)
+            if after is not before:
+                managed.profile = after
+                managed.peak_rate = self._width_peak_rate(after, name)
+                handle.profile = after
+
+    def _width_peak_rate(self, profile: WorkloadProfile, app: str) -> float:
+        """Uncapped rate within the app's reserved core group.
+
+        ``Perf_nocap`` for a narrow-group application is its best rate on
+        the cores it actually owns - it can never reach the full-width peak.
+        """
+        width = self._server.topology.group_of(app).width
+        cfg = self._server.config
+        knob = KnobSetting(cfg.freq_max_ghz, min(width, cfg.cores_max), cfg.dram_power_max_w)
+        return self._server.perf_model.rate(profile, knob)
+
+    # ------------------------------------------------------------- learning
+
+    def _refresh_views(self, app: str) -> None:
+        """(Re)build the oracle and estimated candidate sets for one app.
+
+        Both views are restricted to the app's core-group width: a knob
+        asking for more cores than the group reserves cannot be actuated,
+        so it must not be allocatable either.
+        """
+        profile = self._managed[app].profile
+        config = self._server.config
+        width = self._server.topology.group_of(app).width
+        oracle = CandidateSet.from_models(
+            profile, config, power_model=self._server.power_model
+        )
+        if width < config.cores_max:
+            oracle = oracle.subset(
+                [i for i, k in enumerate(oracle.knobs) if k.cores <= width],
+                rebase_nocap=True,
+            )
+        self._oracle[app] = oracle
+        if self._use_oracle or not self._policy.needs_learning:
+            self._estimates[app] = oracle
+            return
+        estimator = self._get_estimator()
+        samples: dict[KnobSetting, tuple[float, float]] = {}
+        for knob in self._sampler.select(config):
+            power = self._server.power_model.app_power_w(profile, knob)
+            perf = self._server.perf_model.rate(profile, knob)
+            if self._power_noise_std_w > 0:
+                power = max(0.0, power + float(self._rng.normal(0.0, self._power_noise_std_w)))
+            if self._perf_noise_relative_std > 0:
+                perf = max(
+                    0.0,
+                    perf * (1.0 + float(self._rng.normal(0.0, self._perf_noise_relative_std))),
+                )
+            samples[knob] = (power, perf)
+        estimate = estimator.estimate(self._corpus, samples)
+        estimated = CandidateSet.from_estimates(
+            app, config, estimate.power_w, estimate.perf
+        )
+        if width < config.cores_max:
+            estimated = estimated.subset(
+                [i for i, k in enumerate(estimated.knobs) if k.cores <= width],
+                rebase_nocap=True,
+            )
+        self._estimates[app] = estimated
+
+    def _get_estimator(self) -> CollaborativeEstimator:
+        if self._estimator is None:
+            self._estimator = CollaborativeEstimator()
+            self._estimator.train(self._corpus)
+        return self._estimator
+
+    def _get_population(self) -> CandidateSet:
+        """The average application's surface (for Server+Res-Aware)."""
+        if self._population is None:
+            mask = self._corpus.observed_mask()
+            power = self._corpus.power_rows()
+            perf = self._corpus.perf_rows()
+            if power.shape[0] == 0:
+                raise ConfigurationError("corpus is empty; cannot build population view")
+            power = np.where(mask, power, np.nan)
+            perf = np.where(mask, perf, np.nan)
+            scales = np.nanmax(perf, axis=1, keepdims=True)
+            mean_power = np.nanmean(power, axis=0)
+            mean_perf = np.nanmean(perf / scales, axis=0)
+            self._population = CandidateSet.from_estimates(
+                "population-average", self._server.config, mean_power, mean_perf
+            )
+        return self._population
+
+    # -------------------------------------------------------------- metrics
+
+    def normalized_throughput(self, app: str, *, since_s: float = 0.0) -> float:
+        """``(work done / elapsed) / peak_rate`` over the recorded timeline.
+
+        This is the per-application term of objective (1) measured over the
+        experiment window rather than predicted by the allocator.
+        """
+        records = [r for r in self._timeline if r.time_s > since_s]
+        if not records:
+            return 0.0
+        work = sum(r.progressed.get(app, 0.0) for r in records)
+        # The first record's tick started dt before its timestamp; the
+        # window spans from there - otherwise that tick's work is counted
+        # against too little time and throughput can read slightly above 1.
+        elapsed = records[-1].time_s - (records[0].time_s - self._dt_s)
+        if elapsed <= 0:
+            return 0.0
+        return (work / elapsed) / self.peak_rate_of(app)
+
+    def server_objective(self, *, since_s: float = 0.0) -> float:
+        """Sum of normalized throughputs over all known apps (objective 1)."""
+        names = set(self._managed) | set(self._finished)
+        return sum(self.normalized_throughput(n, since_s=since_s) for n in names)

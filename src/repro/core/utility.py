@@ -1,0 +1,329 @@
+"""Power utility curves: the quantities behind the paper's Figs. 2, 3 and 9.
+
+Three related constructs:
+
+* :class:`CandidateSet` - an application's (power, performance) points over
+  the knob space, either from the true models (oracle) or from collaborative
+  -filtering estimates. Everything downstream (allocator, policies, utility
+  plots) consumes candidate sets, which is what makes "estimated" and
+  "oracle" interchangeable in experiments.
+* :func:`app_utility_curve` - the application-level utility curve of Fig. 2:
+  best achievable relative performance as a function of the app's power
+  budget (the upper envelope over all knob settings).
+* :func:`resource_marginal_utilities` - the resource-level utilities of
+  Fig. 3/9d: performance gained per extra watt spent on each direct resource
+  (one more core, one DVFS step, one DRAM watt) from a reference setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.server.config import KnobSetting, ServerConfig
+from repro.server.perf_model import PerformanceModel
+from repro.server.power_model import PowerModel
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """An application's (power, performance) response over the knob space.
+
+    Attributes:
+        app: Application name.
+        knobs: Knob settings, aligned with the arrays.
+        power_w: ``P_X`` at each knob (watts).
+        perf: Work rate at each knob.
+        perf_nocap: The rate at the uncapped knob - the normalization
+            denominator of objective (1).
+    """
+
+    app: str
+    knobs: tuple[KnobSetting, ...]
+    power_w: np.ndarray
+    perf: np.ndarray
+    perf_nocap: float
+
+    def __post_init__(self) -> None:
+        if not (len(self.knobs) == len(self.power_w) == len(self.perf)):
+            raise ConfigurationError("knobs, power and perf must align")
+        if len(self.knobs) == 0:
+            raise ConfigurationError("candidate set cannot be empty")
+        if self.perf_nocap <= 0:
+            raise ConfigurationError("perf_nocap must be positive")
+
+    @classmethod
+    def from_models(
+        cls,
+        profile: WorkloadProfile,
+        config: ServerConfig,
+        *,
+        power_model: PowerModel | None = None,
+    ) -> "CandidateSet":
+        """Oracle candidate set from the true response models."""
+        power_model = power_model if power_model is not None else PowerModel(config)
+        perf_model = power_model.perf_model
+        knobs = tuple(config.knob_space())
+        power = np.array([power_model.app_power_w(profile, k) for k in knobs])
+        perf = np.array([perf_model.rate(profile, k) for k in knobs])
+        return cls(
+            app=profile.name,
+            knobs=knobs,
+            power_w=power,
+            perf=perf,
+            perf_nocap=float(perf_model.peak_rate(profile)),
+        )
+
+    @classmethod
+    def from_estimates(
+        cls,
+        app: str,
+        config: ServerConfig,
+        power_w: np.ndarray,
+        perf: np.ndarray,
+    ) -> "CandidateSet":
+        """Candidate set from collaborative-filtering estimates.
+
+        ``perf_nocap`` is taken as the estimate at the uncapped knob (which
+        the stratified sampler always measures, so it is typically exact).
+        """
+        knobs = tuple(config.knob_space())
+        if len(power_w) != len(knobs) or len(perf) != len(knobs):
+            raise ConfigurationError("estimate arrays must cover the knob space")
+        nocap_idx = knobs.index(config.max_knob)
+        nocap = float(perf[nocap_idx])
+        if nocap <= 0:
+            raise ConfigurationError(f"estimated uncapped performance of {app!r} is zero")
+        return cls(
+            app=app,
+            knobs=knobs,
+            power_w=np.asarray(power_w, dtype=float),
+            perf=np.asarray(perf, dtype=float),
+            perf_nocap=nocap,
+        )
+
+    @property
+    def min_power_w(self) -> float:
+        """The cheapest runnable configuration's power."""
+        return float(self.power_w.min())
+
+    @property
+    def max_power_w(self) -> float:
+        """The unconstrained demand (power at the most expensive config)."""
+        return float(self.power_w.max())
+
+    def relative_perf(self) -> np.ndarray:
+        """``perf / perf_nocap`` per knob - the objective-(1) terms."""
+        return self.perf / self.perf_nocap
+
+    def subset(self, indices: list[int], *, rebase_nocap: bool = False) -> "CandidateSet":
+        """A candidate set restricted to ``indices`` (e.g. the hardware
+        throttle path used by utility-blind enforcement).
+
+        Args:
+            indices: Positions to keep, in the desired order.
+            rebase_nocap: Recompute ``perf_nocap`` as the subset's best
+                performance. Use this when the restriction is *physical*
+                (an application admitted with a narrow core group can never
+                reach the full-width peak, so its uncapped reference is the
+                subset's own best), not when it is merely a search-space
+                reduction like the throttle path.
+        """
+        if not indices:
+            raise ConfigurationError("subset needs at least one index")
+        perf = self.perf[indices]
+        nocap = float(perf.max()) if rebase_nocap else self.perf_nocap
+        return CandidateSet(
+            app=self.app,
+            knobs=tuple(self.knobs[i] for i in indices),
+            power_w=self.power_w[indices],
+            perf=perf,
+            perf_nocap=nocap,
+        )
+
+    def index_of(self, knob: KnobSetting) -> int:
+        """Index of a knob within this set.
+
+        Raises:
+            ConfigurationError: when the knob is not present.
+        """
+        try:
+            return self.knobs.index(knob)
+        except ValueError:
+            raise ConfigurationError(f"{knob} is not in this candidate set") from None
+
+    def best_index_under(self, budget_w: float) -> int | None:
+        """Index of the best-performance knob fitting ``budget_w``; ``None``
+        when nothing fits."""
+        feasible = self.power_w <= budget_w + 1e-9
+        if not feasible.any():
+            return None
+        masked = np.where(feasible, self.perf, -np.inf)
+        return int(np.argmax(masked))
+
+
+def pareto_envelope(candidates: CandidateSet) -> list[int]:
+    """Indices of the power-performance Pareto frontier, by ascending power.
+
+    A knob is on the frontier when no other knob delivers at least its
+    performance for strictly less power. The allocator's DP only needs these
+    points (choosing a dominated config is never optimal), which shrinks the
+    per-app choice set from ~432 to a few dozen.
+    """
+    order = np.lexsort((-candidates.perf, candidates.power_w))
+    frontier: list[int] = []
+    best_perf = -np.inf
+    for idx in order:
+        perf = candidates.perf[idx]
+        if perf > best_perf + 1e-12:
+            frontier.append(int(idx))
+            best_perf = perf
+    return frontier
+
+
+@dataclass(frozen=True)
+class UtilityCurve:
+    """An application-level utility curve (one line of Fig. 2).
+
+    Attributes:
+        app: Application name.
+        budgets_w: Power budgets (ascending).
+        relative_perf: Best achievable ``Perf/Perf_nocap`` at each budget
+            (0.0 where the budget cannot run the app at all).
+    """
+
+    app: str
+    budgets_w: tuple[float, ...]
+    relative_perf: tuple[float, ...]
+
+    def value_at(self, budget_w: float) -> float:
+        """Utility at the largest tabulated budget ``<= budget_w``."""
+        value = 0.0
+        for b, v in zip(self.budgets_w, self.relative_perf):
+            if b <= budget_w + 1e-9:
+                value = v
+            else:
+                break
+        return value
+
+    def marginal_utility(self) -> list[float]:
+        """Finite-difference slope (utility per watt) between budget points.
+
+        This is the per-watt "slope" the paper's R1 discussion is about -
+        the quantity that differs across applications and across budget
+        levels, making even apportioning suboptimal.
+        """
+        slopes: list[float] = []
+        for i in range(1, len(self.budgets_w)):
+            dp = self.budgets_w[i] - self.budgets_w[i - 1]
+            dv = self.relative_perf[i] - self.relative_perf[i - 1]
+            slopes.append(dv / dp if dp > 0 else 0.0)
+        return slopes
+
+
+def app_utility_curve(
+    candidates: CandidateSet,
+    budgets_w: list[float] | None = None,
+    *,
+    grain_w: float = 1.0,
+) -> UtilityCurve:
+    """The Fig. 2 curve: best relative performance vs. power budget.
+
+    Args:
+        candidates: The app's candidate set (oracle or estimated).
+        budgets_w: Budgets to tabulate; defaults to a 1 W grid from just
+            below the cheapest config to the unconstrained demand.
+        grain_w: Grid spacing for the default budget list.
+    """
+    if budgets_w is None:
+        lo = np.floor(candidates.min_power_w)
+        hi = np.ceil(candidates.max_power_w)
+        budgets_w = [float(b) for b in np.arange(lo, hi + grain_w / 2, grain_w)]
+    values: list[float] = []
+    for budget in budgets_w:
+        idx = candidates.best_index_under(budget)
+        values.append(
+            float(candidates.perf[idx] / candidates.perf_nocap) if idx is not None else 0.0
+        )
+    return UtilityCurve(
+        app=candidates.app,
+        budgets_w=tuple(budgets_w),
+        relative_perf=tuple(values),
+    )
+
+
+def resource_marginal_utilities(
+    profile: WorkloadProfile,
+    config: ServerConfig,
+    *,
+    reference: KnobSetting | None = None,
+    power_model: PowerModel | None = None,
+) -> dict[str, float]:
+    """The Fig. 3 quantities: performance per watt of each direct resource.
+
+    From a ``reference`` knob setting (default: one core below max, one DVFS
+    step below max, one DRAM watt below max - so every resource has headroom
+    to grow), computes the marginal utility of spending the next watt on:
+
+    * ``"core"`` - activating one more core,
+    * ``"frequency"`` - one DVFS step up on all active cores,
+    * ``"memory"`` - one more DRAM watt.
+
+    Returns ``{resource: delta_relative_perf_per_watt}``; a resource already
+    at its maximum contributes 0.0.
+    """
+    power_model = power_model if power_model is not None else PowerModel(config)
+    perf_model = power_model.perf_model
+    freqs = config.frequencies_ghz
+    if reference is None:
+        reference = KnobSetting(
+            freqs[-2] if len(freqs) > 1 else freqs[-1],
+            max(config.cores_min, config.cores_max - 1),
+            max(config.dram_power_min_w, config.dram_power_max_w - config.dram_power_step_w),
+        )
+    config.validate_knob(reference)
+    base_power = power_model.app_power_w(profile, reference)
+    base_perf = perf_model.rate(profile, reference)
+    nocap = perf_model.peak_rate(profile)
+
+    def utility_of(step: KnobSetting, *, min_delta_w: float = 0.0) -> float:
+        """Marginal utility of one knob step, in relative-perf per watt.
+
+        ``min_delta_w`` floors the power delta at the knob's *allocation*
+        granularity: raising a DRAM allocation an app does not use changes
+        its actual draw by ~0 W, but the watt is still committed from the
+        budget - dividing a negligible gain by a negligible draw would
+        otherwise report a spuriously high utility.
+        """
+        d_power = power_model.app_power_w(profile, step) - base_power
+        d_perf = (perf_model.rate(profile, step) - base_perf) / nocap
+        denom = max(d_power, min_delta_w)
+        if denom <= 1e-9:
+            return max(0.0, d_perf)
+        return d_perf / denom
+
+    utilities: dict[str, float] = {"core": 0.0, "frequency": 0.0, "memory": 0.0}
+    if reference.cores < config.cores_max:
+        utilities["core"] = utility_of(
+            KnobSetting(reference.freq_ghz, reference.cores + 1, reference.dram_power_w)
+        )
+    freq_idx = min(
+        range(len(freqs)), key=lambda i: abs(freqs[i] - reference.freq_ghz)
+    )
+    if freq_idx + 1 < len(freqs):
+        utilities["frequency"] = utility_of(
+            KnobSetting(freqs[freq_idx + 1], reference.cores, reference.dram_power_w)
+        )
+    if reference.dram_power_w + config.dram_power_step_w <= config.dram_power_max_w + 1e-9:
+        utilities["memory"] = utility_of(
+            KnobSetting(
+                reference.freq_ghz,
+                reference.cores,
+                reference.dram_power_w + config.dram_power_step_w,
+            ),
+            min_delta_w=config.dram_power_step_w,
+        )
+    return utilities

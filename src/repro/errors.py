@@ -1,0 +1,74 @@
+"""Exception hierarchy for the power-struggle mediation framework.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so callers
+can catch the whole family with a single ``except`` clause. The sub-classes mirror
+the major subsystems: server simulation, knob actuation, power accounting, energy
+storage, learning, and allocation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or reconfigured with invalid parameters.
+
+    Examples: a negative power cap, a DVFS frequency outside the hardware's
+    supported range, a workload profile with a non-positive work size.
+    """
+
+
+class KnobError(ReproError):
+    """A power-allocation knob was actuated with an unsupported setting.
+
+    The knob space of the paper's platform is discrete: 9 DVFS steps between
+    1.2 and 2.0 GHz, 1-6 cores per application, and 3-10 W of DRAM power in
+    1 W units. Any setting outside these sets raises :class:`KnobError`.
+    """
+
+
+class PowerBudgetError(ReproError):
+    """A requested allocation cannot be satisfied within the power budget.
+
+    Raised, for example, when the server cap is below idle power (nothing the
+    controller does can help) or when an allocator is asked to divide a budget
+    that cannot sustain even the cheapest configuration of any application and
+    no temporal-coordination fallback was permitted.
+    """
+
+
+class BatteryError(ReproError):
+    """An energy-storage operation violated the device's physical limits.
+
+    Examples: discharging an empty battery, charging above the maximum charge
+    power, or constructing a battery with a non-positive capacity.
+    """
+
+
+class LearningError(ReproError):
+    """A collaborative-filtering operation could not be performed.
+
+    Examples: folding in an application with zero sampled configurations, or
+    factorizing an empty preference matrix.
+    """
+
+
+class SchedulingError(ReproError):
+    """An application lifecycle operation was invalid.
+
+    Examples: starting an application that is already running on the server,
+    removing an application that was never admitted, or admitting more
+    applications than the server has isolable core groups for.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-time simulation reached an inconsistent state.
+
+    This indicates a bug in a policy or in the engine itself - e.g. the power
+    model reporting a draw above the enforced cap after coordination, or time
+    moving backwards.
+    """

@@ -1,0 +1,28 @@
+"""Energy-storage device models and coordination (Requirement R4).
+
+The paper's server carries a Lead-Acid UPS that the framework uses as a
+power-management knob: bank energy during collective OFF periods (when the
+cap leaves headroom above idle) and spend it during collective ON periods to
+exceed the cap. This package provides:
+
+* :class:`~repro.esd.battery.LeadAcidBattery` - SoC dynamics, round-trip
+  efficiency, charge/discharge power limits, cycle accounting;
+* :class:`~repro.esd.controller.EsdController` - the Eq. (5) duty-cycle
+  computation and the per-tick charge/discharge scheduling that keeps wall
+  power within the cap.
+"""
+
+from repro.esd.battery import LeadAcidBattery, BatteryStats
+from repro.esd.controller import EsdController, DutyCycle, Phase, compute_duty_cycle
+from repro.esd.presets import BATTERY_PRESETS, make_battery
+
+__all__ = [
+    "LeadAcidBattery",
+    "BatteryStats",
+    "EsdController",
+    "DutyCycle",
+    "Phase",
+    "compute_duty_cycle",
+    "BATTERY_PRESETS",
+    "make_battery",
+]

@@ -1,0 +1,57 @@
+"""Simulated server substrate: the hardware surface the paper's policies drive.
+
+The paper runs on a dual-socket Intel Xeon-2620 (Table I) controlled through
+Linux interfaces: per-core DVFS via ``cpupower``, core consolidation via
+``taskset``, socket/DRAM power via the RAPL sysfs interface, package deep
+sleep (PC6), and task suspend/continue. This package provides a discrete-time
+simulation of that surface with the same observation and actuation contract:
+
+* :class:`~repro.server.config.ServerConfig` - Table I parameters and the
+  discrete knob space ``(f, n, m)``.
+* :class:`~repro.server.topology.ServerTopology` - sockets, cores, DIMMs, and
+  core-group assignment (the ``taskset`` substrate).
+* :mod:`~repro.server.power_model` / :mod:`~repro.server.perf_model` - the
+  component power model and the bottleneck performance model.
+* :class:`~repro.server.rapl.RaplInterface` - energy counters and power-cap
+  domains mirroring Intel RAPL semantics.
+* :class:`~repro.server.heartbeats.HeartbeatMonitor` - application heartbeats.
+* :class:`~repro.server.server.SimulatedServer` - the discrete-time engine.
+"""
+
+from repro.server.config import (
+    ServerConfig,
+    KnobSetting,
+    DEFAULT_SERVER_CONFIG,
+)
+from repro.server.topology import ServerTopology, CoreGroup
+from repro.server.power_model import PowerModel, PowerBreakdown
+from repro.server.perf_model import PerformanceModel
+from repro.server.rapl import RaplInterface, RaplDomain
+from repro.server.heartbeats import HeartbeatMonitor, HeartbeatRecord
+from repro.server.sleep import SleepController, SleepState
+from repro.server.knobs import KnobController, hardware_throttle_path
+from repro.server.powercap import HardwarePowercap, PowercapZone
+from repro.server.server import SimulatedServer, ApplicationHandle
+
+__all__ = [
+    "ServerConfig",
+    "KnobSetting",
+    "DEFAULT_SERVER_CONFIG",
+    "ServerTopology",
+    "CoreGroup",
+    "PowerModel",
+    "PowerBreakdown",
+    "PerformanceModel",
+    "RaplInterface",
+    "RaplDomain",
+    "HeartbeatMonitor",
+    "HeartbeatRecord",
+    "SleepController",
+    "SleepState",
+    "KnobController",
+    "hardware_throttle_path",
+    "HardwarePowercap",
+    "PowercapZone",
+    "SimulatedServer",
+    "ApplicationHandle",
+]

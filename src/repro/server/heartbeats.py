@@ -1,0 +1,132 @@
+"""Application heartbeats: the performance-observation side of the framework.
+
+The paper measures application performance with the open-source Application
+Heartbeats interface [41]: an instrumented application emits a heartbeat per
+unit of completed work, and observers read windowed heart *rates*. Our
+simulated applications emit fractional heartbeats equal to the work completed
+each tick; the monitor exposes the same windowed-rate query the real library
+provides, plus cumulative counts for throughput accounting.
+
+Measurement noise is optional and seeded, for the same reason as in
+:mod:`repro.server.rapl`: the collaborative-filtering calibration (Fig. 7)
+must be exercised against imperfect observations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+
+
+@dataclass(frozen=True)
+class HeartbeatRecord:
+    """One window entry: work completed in one tick.
+
+    Attributes:
+        time_s: Simulation time at the *end* of the tick.
+        beats: Work units completed during the tick (fractional).
+    """
+
+    time_s: float
+    beats: float
+
+
+class HeartbeatMonitor:
+    """Windowed heart-rate monitor for the applications on one server.
+
+    Args:
+        window_s: Length of the sliding window used by :meth:`heart_rate`.
+        noise_relative_std: Relative (multiplicative) gaussian noise applied
+            to rate readings; zero for exact readings.
+        seed: Noise generator seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_s: float = 2.0,
+        noise_relative_std: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        if noise_relative_std < 0:
+            raise ConfigurationError("noise_relative_std must be non-negative")
+        self._window_s = window_s
+        self._noise = noise_relative_std
+        self._rng = np.random.default_rng(seed)
+        self._histories: dict[str, deque[HeartbeatRecord]] = {}
+        self._totals: dict[str, float] = {}
+
+    @property
+    def window_s(self) -> float:
+        return self._window_s
+
+    def register(self, app: str) -> None:
+        """Start tracking ``app``.
+
+        Raises:
+            SchedulingError: if already registered.
+        """
+        if app in self._histories:
+            raise SchedulingError(f"application {app!r} already registered for heartbeats")
+        self._histories[app] = deque()
+        self._totals[app] = 0.0
+
+    def unregister(self, app: str) -> None:
+        """Stop tracking ``app`` (on departure). Its totals are discarded."""
+        self._history_of(app)
+        del self._histories[app]
+        del self._totals[app]
+
+    def registered(self) -> list[str]:
+        """Currently tracked application names, sorted."""
+        return sorted(self._histories)
+
+    # ----------------------------------------------------------- engine side
+
+    def emit(self, app: str, time_s: float, beats: float) -> None:
+        """Engine hook: record ``beats`` work units completed by ``app``.
+
+        Zero-beat ticks are recorded too - a suspended application's heart
+        rate must decay to zero, which only happens if the window sees its
+        silence.
+        """
+        if beats < 0:
+            raise ConfigurationError(f"negative heartbeat count {beats}")
+        history = self._history_of(app)
+        history.append(HeartbeatRecord(time_s=time_s, beats=beats))
+        self._totals[app] += beats
+        cutoff = time_s - self._window_s
+        while history and history[0].time_s <= cutoff:
+            history.popleft()
+
+    # ----------------------------------------------------------- client side
+
+    def heart_rate(self, app: str) -> float:
+        """Windowed work rate (beats/s) of ``app``, with optional noise."""
+        history = self._history_of(app)
+        if not history:
+            return 0.0
+        span = max(self._window_s, history[-1].time_s - history[0].time_s)
+        rate = sum(record.beats for record in history) / span
+        if self._noise == 0.0 or rate == 0.0:
+            return rate
+        return max(0.0, rate * (1.0 + float(self._rng.normal(0.0, self._noise))))
+
+    def total_beats(self, app: str) -> float:
+        """Cumulative work units completed by ``app`` since registration."""
+        self._history_of(app)
+        return self._totals[app]
+
+    def _history_of(self, app: str) -> deque[HeartbeatRecord]:
+        try:
+            return self._histories[app]
+        except KeyError:
+            raise SchedulingError(
+                f"application {app!r} is not registered for heartbeats"
+            ) from None

@@ -1,0 +1,202 @@
+"""Knob actuation: the simulated ``cpupower`` / ``taskset`` / DRAM-RAPL /
+``kill -STOP|-CONT`` surface.
+
+The paper enforces allocations with four Linux mechanisms (Section III-B):
+
+* ``cpupower frequency-set`` - per-core DVFS (the ``f`` knob);
+* ``taskset`` - core consolidation (the ``n`` knob);
+* DRAM RAPL sysfs - per-DIMM power allocation (the ``m`` knob);
+* ``SIGSTOP`` / ``SIGCONT`` - suspending and resuming applications for
+  temporal coordination.
+
+:class:`KnobController` is the single mutation point for all four. Policies
+never poke the server state directly; they produce desired settings and the
+controller validates and applies them, mirroring how the real framework shells
+out to the OS tools. It also forwards DRAM allocations to the RAPL interface
+so the capping domain limits stay consistent with what the policy requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KnobError, SchedulingError
+from repro.server.config import KnobSetting, ServerConfig
+from repro.server.rapl import RaplInterface
+from repro.server.topology import ServerTopology
+
+
+def hardware_throttle_path(config: ServerConfig) -> list[KnobSetting]:
+    """The fixed order in which hardware enforcement sheds power.
+
+    1. DVFS steps down (all cores, full DRAM) - what package RAPL does;
+    2. core reduction at the floor frequency (idle injection, as Linux's
+       ``intel_powerclamp`` does when DVFS alone cannot meet the limit);
+    3. DRAM allocation steps down at the minimum compute configuration.
+
+    The path is identical for every application - that blindness is what
+    distinguishes hardware capping (and the paper's baselines, which use
+    it) from the utility-aware schemes.
+    """
+    freqs = config.frequencies_ghz
+    nmax, mmax = config.cores_max, config.dram_power_max_w
+    path = [KnobSetting(f, nmax, mmax) for f in reversed(freqs)]
+    path += [
+        KnobSetting(freqs[0], n, mmax)
+        for n in range(nmax - 1, config.cores_min - 1, -1)
+    ]
+    path += [
+        KnobSetting(freqs[0], config.cores_min, m)
+        for m in reversed(config.dram_powers_w[:-1])
+    ]
+    return path
+
+
+@dataclass
+class AppControlState:
+    """Mutable actuation state of one admitted application.
+
+    Attributes:
+        knob: Current ``(f, n, m)`` setting.
+        suspended: ``True`` while the app is SIGSTOPped (draws no dynamic
+            power, makes no progress, and its private-cache state decays).
+    """
+
+    knob: KnobSetting
+    suspended: bool = False
+
+
+class KnobController:
+    """Validated actuation of per-application power knobs.
+
+    Args:
+        config: The knob space to validate against.
+        topology: Core-group reservations; consolidation cannot exceed an
+            app's reserved group width.
+        rapl: RAPL interface whose per-socket DRAM domains receive the ``m``
+            limits.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        topology: ServerTopology,
+        rapl: RaplInterface,
+    ) -> None:
+        self._config = config
+        self._topology = topology
+        self._rapl = rapl
+        self._states: dict[str, AppControlState] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def attach(self, app: str, initial: KnobSetting | None = None) -> AppControlState:
+        """Begin controlling ``app`` (it must already hold a core group).
+
+        Args:
+            app: Application name.
+            initial: Starting knob; defaults to the uncapped maximum.
+
+        Raises:
+            SchedulingError: if already attached or not admitted.
+        """
+        if app in self._states:
+            raise SchedulingError(f"application {app!r} is already attached")
+        self._topology.group_of(app)  # raises SchedulingError when absent
+        knob = initial if initial is not None else self._config.max_knob
+        self._validate(app, knob)
+        state = AppControlState(knob=knob)
+        self._states[app] = state
+        self._push_dram_limit(app)
+        return state
+
+    def detach(self, app: str) -> None:
+        """Stop controlling ``app`` (on departure)."""
+        self._state_of(app)
+        del self._states[app]
+
+    def attached(self) -> list[str]:
+        """Names under control, sorted."""
+        return sorted(self._states)
+
+    # ------------------------------------------------------------ actuation
+
+    def set_knob(self, app: str, knob: KnobSetting) -> None:
+        """Apply a full ``(f, n, m)`` setting to ``app``.
+
+        Equivalent to one ``cpupower`` + one ``taskset`` + one DRAM-RAPL
+        write. Raises :class:`~repro.errors.KnobError` for settings outside
+        the discrete knob space or beyond the app's reserved core group.
+        """
+        self._validate(app, knob)
+        self._state_of(app).knob = knob
+        self._push_dram_limit(app)
+
+    def set_frequency(self, app: str, freq_ghz: float) -> None:
+        """DVFS-only change (``cpupower frequency-set``)."""
+        state = self._state_of(app)
+        self.set_knob(app, KnobSetting(freq_ghz, state.knob.cores, state.knob.dram_power_w))
+
+    def set_cores(self, app: str, cores: int) -> None:
+        """Consolidation-only change (``taskset``)."""
+        state = self._state_of(app)
+        self.set_knob(app, KnobSetting(state.knob.freq_ghz, cores, state.knob.dram_power_w))
+
+    def set_dram_power(self, app: str, dram_power_w: float) -> None:
+        """DRAM-allocation-only change (DRAM RAPL sysfs write)."""
+        state = self._state_of(app)
+        self.set_knob(app, KnobSetting(state.knob.freq_ghz, state.knob.cores, dram_power_w))
+
+    def suspend(self, app: str) -> None:
+        """``SIGSTOP`` the app: it stops drawing dynamic power and making
+        progress. Idempotent."""
+        self._state_of(app).suspended = True
+
+    def resume(self, app: str) -> None:
+        """``SIGCONT`` the app. Idempotent."""
+        self._state_of(app).suspended = False
+
+    # ------------------------------------------------------------- queries
+
+    def knob_of(self, app: str) -> KnobSetting:
+        """Current setting of ``app``."""
+        return self._state_of(app).knob
+
+    def is_suspended(self, app: str) -> bool:
+        """Whether ``app`` is currently SIGSTOPped."""
+        return self._state_of(app).suspended
+
+    def running_apps(self) -> list[str]:
+        """Attached apps that are not suspended, sorted."""
+        return sorted(name for name, s in self._states.items() if not s.suspended)
+
+    # ------------------------------------------------------------- internal
+
+    def _state_of(self, app: str) -> AppControlState:
+        try:
+            return self._states[app]
+        except KeyError:
+            raise SchedulingError(f"application {app!r} is not attached") from None
+
+    def _validate(self, app: str, knob: KnobSetting) -> None:
+        self._config.validate_knob(knob)
+        group = self._topology.group_of(app)
+        if knob.cores > group.width:
+            raise KnobError(
+                f"{app!r} asked for {knob.cores} cores but its core group "
+                f"has width {group.width}"
+            )
+
+    def _push_dram_limit(self, app: str) -> None:
+        """Mirror the app's ``m`` into its socket's DRAM RAPL domain.
+
+        When two apps share a socket, the domain limit is the sum of their
+        allocations (each app's share is enforced by the model's per-app
+        bandwidth accounting; the physical domain caps the DIMM total).
+        """
+        group = self._topology.group_of(app)
+        total = 0.0
+        for name in self._topology.apps_on_socket(group.socket):
+            if name in self._states:
+                total += self._states[name].knob.dram_power_w
+        self._rapl.set_power_limit(f"dram-{group.socket}", total if total > 0 else None)

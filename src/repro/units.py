@@ -1,0 +1,131 @@
+"""Units and small value helpers used throughout the framework.
+
+All physical quantities in the package use SI base conventions:
+
+* power in **watts** (float)
+* energy in **joules** (float)
+* frequency in **gigahertz** (float) - the paper's knob space is specified in
+  GHz so we keep that unit to make configurations directly comparable
+* time in **seconds** (float)
+
+The helpers here exist to make intent explicit at call sites (``watt_hours(5)``
+reads better than ``5 * 3600.0``) and to centralize the tolerance used when
+comparing power values, which otherwise tends to be duplicated with slightly
+different epsilons across modules.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Tolerance (in watts) used when checking cap adherence. Power values in the
+#: simulator are sums of per-component float contributions; equality checks on
+#: them must allow for accumulated rounding.
+POWER_EPSILON_W = 1e-6
+
+#: Tolerance (in joules) for energy-conservation checks.
+ENERGY_EPSILON_J = 1e-6
+
+#: Seconds per hour, used by watt-hour conversions.
+SECONDS_PER_HOUR = 3600.0
+
+
+def watt_hours(wh: float) -> float:
+    """Convert watt-hours to joules.
+
+    >>> watt_hours(1.0)
+    3600.0
+    """
+    return wh * SECONDS_PER_HOUR
+
+
+def joules_to_watt_hours(joules: float) -> float:
+    """Convert joules to watt-hours.
+
+    >>> joules_to_watt_hours(3600.0)
+    1.0
+    """
+    return joules / SECONDS_PER_HOUR
+
+
+def ghz(value: float) -> float:
+    """Identity helper marking a literal as a frequency in GHz."""
+    return float(value)
+
+
+def watts(value: float) -> float:
+    """Identity helper marking a literal as a power in watts."""
+    return float(value)
+
+
+def within_cap(draw_w: float, cap_w: float, tolerance_w: float = POWER_EPSILON_W) -> bool:
+    """Return ``True`` when ``draw_w`` respects ``cap_w`` within tolerance.
+
+    This is the single definition of "adheres to the power cap" used by the
+    engine, the policies, and the test suite, so they can never disagree about
+    borderline floating-point cases.
+    """
+    return draw_w <= cap_w + tolerance_w
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lo, hi]``.
+
+    Raises:
+        ValueError: if ``lo > hi``.
+    """
+    if lo > hi:
+        raise ValueError(f"invalid clamp interval [{lo}, {hi}]")
+    return max(lo, min(hi, value))
+
+
+def nearly_equal(a: float, b: float, tolerance: float = POWER_EPSILON_W) -> bool:
+    """Absolute-tolerance float comparison used for power/energy assertions."""
+    return abs(a - b) <= tolerance
+
+
+def frange(start: float, stop: float, step: float) -> list[float]:
+    """Inclusive float range with stable rounding.
+
+    Builds discrete knob spaces like the 9 DVFS steps from 1.2 to 2.0 GHz in
+    0.1 GHz increments without float-accumulation drift:
+
+    >>> frange(1.2, 2.0, 0.1)
+    [1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0]
+    """
+    if step <= 0:
+        raise ValueError("step must be positive")
+    count = int(round((stop - start) / step)) + 1
+    if count < 1:
+        return []
+    return [round(start + i * step, 10) for i in range(count)]
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean of positive values; 0.0 for an empty iterable.
+
+    Used for aggregating normalized throughputs where the arithmetic mean
+    would over-weight fast applications.
+
+    Raises:
+        ValueError: if any value is not strictly positive.
+    """
+    vals = list(values)
+    if not vals:
+        return 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"harmonic mean requires positive values, got {v}")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty iterable."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geometric mean requires positive values, got {v}")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,42 @@
+"""Workload models: profiles, the paper's application catalog, mixes, and traces.
+
+The paper evaluates on real benchmarks (MineBench, GAP, STREAM, PARSEC). We do not
+have those binaries or the authors' hardware, so this package models each
+application as an analytic *power-performance response surface* over the knob
+space ``(f, n, m)`` - exactly the information the paper's policies consume. See
+``DESIGN.md`` section 2 for the substitution rationale.
+
+Public API:
+
+* :class:`~repro.workloads.profiles.WorkloadProfile` - the response-surface
+  parameterization of one application.
+* :data:`~repro.workloads.catalog.CATALOG` - the twelve paper applications.
+* :data:`~repro.workloads.mixes.MIXES` - the fifteen two-application mixes of
+  Table II.
+* :class:`~repro.workloads.generator.ArrivalSchedule` - dynamic arrivals and
+  departures (Section IV-C of the paper).
+* :class:`~repro.workloads.traces.ClusterPowerTrace` - diurnal cluster power
+  traces and peak-shaving caps (Fig. 12a).
+"""
+
+from repro.workloads.profiles import WorkloadProfile, WORKLOAD_CLASSES
+from repro.workloads.catalog import CATALOG, get_application, application_names
+from repro.workloads.mixes import MIXES, Mix, get_mix
+from repro.workloads.generator import ArrivalEvent, ArrivalSchedule, PhasedProfile
+from repro.workloads.traces import ClusterPowerTrace, peak_shaving_caps
+
+__all__ = [
+    "WorkloadProfile",
+    "WORKLOAD_CLASSES",
+    "CATALOG",
+    "get_application",
+    "application_names",
+    "MIXES",
+    "Mix",
+    "get_mix",
+    "ArrivalEvent",
+    "ArrivalSchedule",
+    "PhasedProfile",
+    "ClusterPowerTrace",
+    "peak_shaving_caps",
+]

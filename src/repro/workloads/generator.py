@@ -1,0 +1,200 @@
+"""Dynamic workload generation: arrivals, departures, and phase changes.
+
+Section IV-C of the paper evaluates the framework under dynamics: an
+application arriving mid-run (event E2, Fig. 11a), departing on completion
+(event E3, Fig. 11b), and changing phase internally (event E4). This module
+provides the workload-side machinery for those experiments:
+
+* :class:`ArrivalEvent` / :class:`ArrivalSchedule` - a time-ordered list of
+  admissions (with optional forced departures for open-ended apps), plus a
+  Poisson generator for randomized cluster-scale runs;
+* :class:`PhasedProfile` - a workload whose response surface changes at given
+  progress fractions, driving E4 re-calibrations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.catalog import CATALOG
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class ArrivalEvent:
+    """One scheduled admission.
+
+    Attributes:
+        time_s: Arrival time.
+        profile: The application to admit. Its ``total_work`` governs the
+            natural departure; ``forced_departure_s`` (if set) removes it
+            earlier regardless of progress (e.g. a cancelled job).
+        forced_departure_s: Optional absolute removal time.
+    """
+
+    time_s: float
+    profile: WorkloadProfile
+    forced_departure_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigurationError("arrival time must be non-negative")
+        if self.forced_departure_s is not None and self.forced_departure_s <= self.time_s:
+            raise ConfigurationError("forced departure must follow the arrival")
+
+
+@dataclass
+class ArrivalSchedule:
+    """A time-ordered collection of :class:`ArrivalEvent`.
+
+    Construction sorts events by time; :meth:`pop_due` yields them to the
+    simulation driver as the clock passes each arrival.
+    """
+
+    events: list[ArrivalEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.time_s)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def exhausted(self) -> bool:
+        """``True`` when every event has been popped."""
+        return self._cursor >= len(self.events)
+
+    def pop_due(self, now_s: float) -> list[ArrivalEvent]:
+        """Events with ``time_s <= now_s`` not yet delivered, in order."""
+        due: list[ArrivalEvent] = []
+        while self._cursor < len(self.events) and self.events[self._cursor].time_s <= now_s:
+            due.append(self.events[self._cursor])
+            self._cursor += 1
+        return due
+
+    def reset(self) -> None:
+        """Rewind delivery (for replaying the same schedule)."""
+        self._cursor = 0
+
+    def next_time_s(self) -> float | None:
+        """Time of the next undelivered event, or ``None``."""
+        if self.exhausted:
+            return None
+        return self.events[self._cursor].time_s
+
+    @classmethod
+    def poisson(
+        cls,
+        *,
+        rate_per_s: float,
+        horizon_s: float,
+        seed: int = 0,
+        names: list[str] | None = None,
+        unique_suffixes: bool = True,
+    ) -> "ArrivalSchedule":
+        """Random schedule: Poisson arrivals of uniformly-drawn catalog apps.
+
+        Args:
+            rate_per_s: Mean arrivals per second.
+            horizon_s: Schedule length.
+            seed: RNG seed (deterministic schedules for experiments).
+            names: Catalog names to draw from (defaults to the whole catalog).
+            unique_suffixes: Suffix each instance (``kmeans#3``) so repeated
+                draws of the same application can co-exist on one server.
+
+        Raises:
+            ConfigurationError: on non-positive rate or horizon.
+        """
+        if rate_per_s <= 0 or horizon_s <= 0:
+            raise ConfigurationError("rate and horizon must be positive")
+        rng = np.random.default_rng(seed)
+        pool = sorted(names) if names else sorted(CATALOG)
+        for name in pool:
+            if name not in CATALOG:
+                raise ConfigurationError(f"unknown application {name!r} in pool")
+        events: list[ArrivalEvent] = []
+        t = 0.0
+        index = 0
+        while True:
+            t += float(rng.exponential(1.0 / rate_per_s))
+            if t >= horizon_s:
+                break
+            base = CATALOG[pool[int(rng.integers(len(pool)))]]
+            profile = base
+            if unique_suffixes:
+                profile = WorkloadProfile.from_dict(
+                    {**base.to_dict(), "name": f"{base.name}#{index}"}
+                )
+            events.append(ArrivalEvent(time_s=t, profile=profile))
+            index += 1
+        return cls(events)
+
+
+class PhasedProfile:
+    """A workload whose response surface changes with progress (event E4).
+
+    The segments partition ``[0, 1)`` progress: segment ``i`` applies from
+    its threshold until the next one's. All segments must share the same
+    name and ``total_work`` (the work contract does not change mid-run, only
+    the resource behaviour does).
+
+    Example - kmeans that turns memory-hungry halfway through::
+
+        phased = PhasedProfile([
+            (0.0, CATALOG["kmeans"]),
+            (0.5, memory_hungry_kmeans_variant),
+        ])
+    """
+
+    def __init__(self, segments: list[tuple[float, WorkloadProfile]]) -> None:
+        if not segments:
+            raise ConfigurationError("need at least one segment")
+        thresholds = [t for t, _ in segments]
+        if thresholds[0] != 0.0:
+            raise ConfigurationError("first segment must start at progress 0.0")
+        if any(b <= a for a, b in zip(thresholds, thresholds[1:])):
+            raise ConfigurationError("segment thresholds must strictly increase")
+        if any(not 0.0 <= t < 1.0 for t in thresholds):
+            raise ConfigurationError("thresholds must lie in [0, 1)")
+        names = {p.name for _, p in segments}
+        if len(names) != 1:
+            raise ConfigurationError(f"segments must share one name, got {sorted(names)}")
+        works = {p.total_work for _, p in segments}
+        if len(works) != 1:
+            raise ConfigurationError("segments must share total_work")
+        self._thresholds = thresholds
+        self._profiles = [p for _, p in segments]
+
+    @property
+    def name(self) -> str:
+        return self._profiles[0].name
+
+    @property
+    def initial(self) -> WorkloadProfile:
+        """The segment in force at admission."""
+        return self._profiles[0]
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._profiles)
+
+    def profile_at(self, progress_fraction: float) -> WorkloadProfile:
+        """The profile in force at ``progress_fraction`` of total work."""
+        if not 0.0 <= progress_fraction <= 1.0:
+            raise ConfigurationError(
+                f"progress fraction must be in [0, 1], got {progress_fraction}"
+            )
+        idx = bisect.bisect_right(self._thresholds, progress_fraction) - 1
+        return self._profiles[max(0, idx)]
+
+    def phase_boundary_crossed(self, before: float, after: float) -> bool:
+        """Did progress move into a new segment between two observations?
+
+        The mediator polls progress and fires E4 exactly when this is true.
+        """
+        return self.profile_at(before) is not self.profile_at(after)

@@ -1,0 +1,80 @@
+"""Table II: the fifteen two-application mixes of the paper's evaluation.
+
+The paper randomly chose 15 pairs from its application catalog; Table II
+lists them with their suite types. They are reproduced verbatim here, in the
+paper's numbering (mix ids 1-15). The first seven pair a data-intensive app
+with a compute-leaning one; later mixes include media/media and
+analytics/media combinations, giving the evaluation a spread of app-level and
+resource-level utility contrast (Fig. 9 dissects mixes 1, 10 and 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.catalog import get_application
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One co-location pair from Table II.
+
+    Attributes:
+        mix_id: The paper's mix number (1-15).
+        app1 / app2: Catalog names of the two applications.
+    """
+
+    mix_id: int
+    app1: str
+    app2: str
+
+    def profiles(self) -> tuple[WorkloadProfile, WorkloadProfile]:
+        """The two catalog profiles, in Table II order."""
+        return (get_application(self.app1), get_application(self.app2))
+
+    def names(self) -> tuple[str, str]:
+        return (self.app1, self.app2)
+
+    def __str__(self) -> str:
+        return f"mix-{self.mix_id}({self.app1}+{self.app2})"
+
+
+#: Table II, verbatim. Key is the paper's mix id.
+MIXES: dict[int, Mix] = {
+    1: Mix(1, "stream", "kmeans"),
+    2: Mix(2, "connected", "kmeans"),
+    3: Mix(3, "stream", "bfs"),
+    4: Mix(4, "facesim", "bfs"),
+    5: Mix(5, "ferret", "betweenness"),
+    6: Mix(6, "ferret", "pagerank"),
+    7: Mix(7, "facesim", "betweenness"),
+    8: Mix(8, "x264", "triangle"),
+    9: Mix(9, "apr", "connected"),
+    10: Mix(10, "pagerank", "kmeans"),
+    11: Mix(11, "ferret", "sssp"),
+    12: Mix(12, "facesim", "x264"),
+    13: Mix(13, "apr", "kmeans"),
+    14: Mix(14, "x264", "sssp"),
+    15: Mix(15, "apr", "x264"),
+}
+
+
+def get_mix(mix_id: int) -> Mix:
+    """Look up a Table II mix by the paper's number.
+
+    Raises:
+        ConfigurationError: for ids outside 1-15.
+    """
+    try:
+        return MIXES[mix_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mix id {mix_id}; Table II defines mixes {sorted(MIXES)}"
+        ) from None
+
+
+def all_mixes() -> list[Mix]:
+    """All fifteen mixes in Table II order."""
+    return [MIXES[i] for i in sorted(MIXES)]

@@ -1,0 +1,107 @@
+"""ClusterSimulator: load inversion, binding logic, Fig. 12 orderings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster.cluster import ClusterSimulator
+from repro.workloads.mixes import all_mixes
+from repro.workloads.traces import ClusterPowerTrace
+
+
+@pytest.fixture(scope="module")
+def sim(config):
+    return ClusterSimulator(config)
+
+
+@pytest.fixture(scope="module")
+def experiment(config):
+    """One shared coarse run (the expensive fixture of this module)."""
+    simulator = ClusterSimulator(config)
+    trace = ClusterPowerTrace.synthetic_diurnal(
+        peak_w=simulator.uncapped_cluster_power_w(), step_s=300.0, seed=1
+    )
+    return simulator.run(
+        trace=trace, duration_s=15.0, warmup_s=8.0, shave_fractions=(0.15, 0.45)
+    )
+
+
+class TestStructure:
+    def test_ten_servers_by_default(self, sim):
+        assert sim.n_servers == 10
+
+    def test_uncapped_power_is_sum_of_loaded_servers(self, sim, config):
+        total = sim.uncapped_cluster_power_w()
+        assert 10 * 90.0 <= total <= 10 * config.uncapped_power_w
+
+    def test_apps_for_load(self, sim):
+        apps = sim.apps_for_load(3)
+        assert len(apps) == 6
+        assert len({a.name for a in apps}) == 6  # unique suffixed names
+
+    def test_invalid_grid_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(config, cap_grid_w=0.0)
+
+    def test_empty_mixes_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(config, mixes=[])
+
+
+class TestLoadInversion:
+    def test_full_demand_maps_to_full_load(self, sim):
+        assert sim.offered_load(sim.uncapped_cluster_power_w()) == 10
+
+    def test_standby_demand_maps_to_zero(self, sim):
+        assert sim.offered_load(100.0) == 0
+
+    def test_inversion_is_monotone(self, sim):
+        peak = sim.uncapped_cluster_power_w()
+        loads = [sim.offered_load(peak * frac) for frac in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)]
+        assert loads == sorted(loads)
+
+
+class TestFig12Orderings:
+    def test_all_policies_reported(self, experiment):
+        for per in experiment.results.values():
+            assert set(per) == {"equal-rapl", "equal-ours", "consolidation-migration"}
+
+    def test_ours_always_beats_rapl(self, experiment):
+        for per in experiment.results.values():
+            assert (
+                per["equal-ours"].aggregate_performance
+                > per["equal-rapl"].aggregate_performance
+            )
+
+    def test_performance_degrades_with_shaving(self, experiment):
+        for policy in ("equal-rapl", "equal-ours"):
+            perfs = [
+                experiment.results[s][policy].aggregate_performance
+                for s in sorted(experiment.results)
+            ]
+            assert perfs == sorted(perfs, reverse=True)
+
+    def test_ours_competitive_with_consolidation_at_mild_shaving(self, experiment):
+        """The paper's 3-5% edge at the operating points it reports."""
+        mild = experiment.results[0.15]
+        assert (
+            mild["equal-ours"].aggregate_performance
+            >= mild["consolidation-migration"].aggregate_performance - 0.02
+        )
+
+    def test_budget_efficiency_ordering_at_mild_shaving(self, experiment):
+        """Ours extracts the most performance per available watt."""
+        mild = experiment.results[0.15]
+        assert (
+            mild["equal-ours"].budget_efficiency
+            > mild["equal-rapl"].budget_efficiency
+        )
+
+    def test_performance_fractions_are_sane(self, experiment):
+        for per in experiment.results.values():
+            for result in per.values():
+                assert 0.0 <= result.aggregate_performance <= 1.0
+
+    def test_cap_traces_recorded(self, experiment):
+        assert set(experiment.cap_traces) == set(experiment.results)
+        for shave, caps in experiment.cap_traces.items():
+            assert caps.peak_w <= (1 - shave) * 1e9  # exists and is a trace

@@ -1,0 +1,126 @@
+"""Consolidation planner and trace walker."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
+from repro.workloads.catalog import CATALOG
+from repro.workloads.mixes import all_mixes
+from repro.workloads.profiles import WorkloadProfile
+
+
+def apps_for(k):
+    result = []
+    for idx, mix in enumerate(all_mixes()[:k]):
+        for p in mix.profiles():
+            result.append(WorkloadProfile.from_dict({**p.to_dict(), "name": f"{p.name}@{idx}"}))
+    return result
+
+
+@pytest.fixture()
+def planner(config):
+    return ConsolidationPlanner(config)
+
+
+class TestServerLoad:
+    def test_two_native_apps(self, planner, config):
+        power, perfs = planner.server_load(list(all_mixes()[0].profiles()))
+        assert len(perfs) == 2
+        assert all(v == pytest.approx(1.0) for v in perfs.values())
+        assert power <= config.uncapped_power_w
+
+    def test_empty_server_is_idle(self, planner, config):
+        power, perfs = planner.server_load([])
+        assert power == config.p_idle_w
+        assert perfs == {}
+
+    def test_isolation_limit_enforced(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.server_load(apps_for(2))  # 4 apps > 2-socket limit
+
+
+class TestPlanning:
+    def test_unconstrained_budget_is_native(self, planner, config):
+        apps = apps_for(10)
+        plan = planner.plan(apps, cluster_cap_w=10 * config.uncapped_power_w, n_servers=10)
+        assert len(plan.servers) == 10
+        assert plan.dropped == ()
+        assert plan.aggregate_perf == pytest.approx(20.0, rel=0.01)
+
+    def test_budget_quantizes_at_rated_power(self, planner, config):
+        apps = apps_for(10)
+        cap = 4.5 * config.uncapped_power_w  # affords exactly 4 rated servers
+        plan = planner.plan(apps, cap, n_servers=10)
+        assert len(plan.servers) == 4
+        assert len(plan.dropped) == 12  # 20 offered, 8 hosted
+
+    def test_actual_draw_fits_budget(self, planner, config):
+        apps = apps_for(10)
+        for cap in (300.0, 600.0, 900.0):
+            plan = planner.plan(apps, cap, n_servers=10)
+            assert plan.total_power_w <= cap + 1e-9
+
+    def test_zero_affordable_servers(self, planner, config):
+        plan = planner.plan(apps_for(2), cluster_cap_w=100.0, n_servers=10)
+        assert plan.servers == ()
+        assert plan.aggregate_perf == 0.0
+
+    def test_invalid_cap_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan(apps_for(1), 0.0, n_servers=10)
+
+
+class TestMigrationCounting:
+    def test_no_migrations_from_cold_start(self, planner):
+        plan = planner.plan(apps_for(3), 1000.0, n_servers=10)
+        assert planner.migrations_between(None, plan) == 0
+
+    def test_identical_plans_have_no_migrations(self, planner):
+        a = planner.plan(apps_for(3), 1000.0, n_servers=10)
+        b = planner.plan(apps_for(3), 1000.0, n_servers=10)
+        assert planner.migrations_between(a, b) == 0
+
+    def test_shrinking_budget_causes_migrations(self, planner, config):
+        wide = planner.plan(apps_for(5), 5 * config.uncapped_power_w, n_servers=10)
+        narrow = planner.plan(apps_for(5), 3 * config.uncapped_power_w, n_servers=10)
+        assert planner.migrations_between(wide, narrow) > 0
+
+
+class TestWalker:
+    def test_steady_state_replans_once(self, planner):
+        walker = ConsolidationWalker(planner, 10, replan_interval_s=600.0)
+        apps = apps_for(4)
+        for _ in range(5):
+            perf, power = walker.step(apps, 2000.0, 60.0)
+            assert perf > 0
+        assert walker.total_migrations == 0
+
+    def test_emergency_shedding_on_cap_drop(self, planner, config):
+        walker = ConsolidationWalker(planner, 10, replan_interval_s=3600.0)
+        apps = apps_for(6)
+        perf_before, power_before = walker.step(apps, 2000.0, 60.0)
+        # The cap collapses mid-interval: the walker cannot replan yet and
+        # must shed servers immediately.
+        perf_after, power_after = walker.step(apps, 2 * config.uncapped_power_w, 60.0)
+        assert power_after <= 2 * config.uncapped_power_w + 1e-9
+        assert perf_after < perf_before
+
+    def test_boot_latency_charged_on_expansion(self, planner, config):
+        walker = ConsolidationWalker(
+            planner, 10, replan_interval_s=0.0, boot_latency_s=30.0
+        )
+        walker.step(apps_for(2), 2000.0, 60.0)
+        perf, _ = walker.step(apps_for(6), 2000.0, 60.0)
+        steady, _ = walker.step(apps_for(6), 2000.0, 60.0)
+        assert perf < steady  # newly powered servers were booting
+
+    def test_invalid_construction_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            ConsolidationWalker(planner, 0)
+        with pytest.raises(ConfigurationError):
+            ConsolidationWalker(planner, 10, replan_interval_s=-1.0)
+
+    def test_invalid_step_rejected(self, planner):
+        walker = ConsolidationWalker(planner, 10)
+        with pytest.raises(ConfigurationError):
+            walker.step(apps_for(1), 1000.0, 0.0)

@@ -1,0 +1,53 @@
+"""Shared fixtures: the default server, models, and catalog profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.config import ServerConfig
+from repro.server.perf_model import PerformanceModel
+from repro.server.power_model import PowerModel
+from repro.server.server import SimulatedServer
+from repro.workloads.catalog import CATALOG
+
+
+@pytest.fixture(scope="session")
+def config() -> ServerConfig:
+    """The paper's Table I platform (shared; it is immutable)."""
+    return ServerConfig()
+
+
+@pytest.fixture(scope="session")
+def perf_model(config: ServerConfig) -> PerformanceModel:
+    return PerformanceModel(config)
+
+
+@pytest.fixture(scope="session")
+def power_model(config: ServerConfig, perf_model: PerformanceModel) -> PowerModel:
+    return PowerModel(config, perf_model)
+
+
+@pytest.fixture()
+def server(config: ServerConfig) -> SimulatedServer:
+    """A fresh noise-free server per test."""
+    return SimulatedServer(config)
+
+
+@pytest.fixture(scope="session")
+def kmeans():
+    return CATALOG["kmeans"]
+
+
+@pytest.fixture(scope="session")
+def stream():
+    return CATALOG["stream"]
+
+
+@pytest.fixture(scope="session")
+def pagerank():
+    return CATALOG["pagerank"]
+
+
+@pytest.fixture(scope="session")
+def sssp():
+    return CATALOG["sssp"]

@@ -1,0 +1,110 @@
+"""Experiment drivers: single-mix runs and policy comparisons."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.core.simulation import (
+    default_battery,
+    run_mix_experiment,
+    run_policy_comparison,
+)
+from repro.workloads.mixes import get_mix
+
+
+class TestRunMixExperiment:
+    def test_result_fields(self, config):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "util-unaware",
+            100.0,
+            mix_id=10,
+            config=config,
+            duration_s=5.0,
+            warmup_s=2.0,
+        )
+        assert result.mix_id == 10
+        assert result.policy == "util-unaware"
+        assert set(result.normalized_throughput) == {"pagerank", "kmeans"}
+        assert 0.0 < result.server_throughput <= 2.0
+        assert result.mean_wall_power_w <= 100.0 + 1e-6
+
+    def test_policy_instance_accepted(self, config):
+        from repro.core.policies import AppResAwarePolicy
+
+        result = run_mix_experiment(
+            list(get_mix(1).profiles()),
+            AppResAwarePolicy(),
+            100.0,
+            config=config,
+            duration_s=4.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+        )
+        assert result.policy == "app+res-aware"
+
+    def test_esd_policy_gets_default_battery(self, config):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res+esd-aware",
+            80.0,
+            config=config,
+            duration_s=15.0,
+            warmup_s=10.0,
+            use_oracle_estimates=True,
+        )
+        assert result.server_throughput > 0.0
+
+    def test_shares_populated_in_space_mode(self, config):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res-aware",
+            100.0,
+            config=config,
+            duration_s=4.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+        )
+        assert sum(result.power_share.values()) == pytest.approx(1.0)
+
+    def test_empty_apps_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            run_mix_experiment([], "util-unaware", 100.0, config=config)
+
+    def test_steady_state_has_no_departures(self, config):
+        """run_mix_experiment must pin total_work to infinity."""
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "util-unaware",
+            100.0,
+            config=config,
+            duration_s=5.0,
+            warmup_s=1.0,
+        )
+        # Both apps report positive throughput for the whole window.
+        assert all(v > 0 for v in result.normalized_throughput.values())
+
+
+class TestRunPolicyComparison:
+    def test_structure(self, config):
+        results = run_policy_comparison(
+            [get_mix(10), get_mix(14)],
+            ["util-unaware", "app+res-aware"],
+            100.0,
+            config=config,
+            duration_s=4.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+        )
+        assert set(results) == {10, 14}
+        assert set(results[10]) == {"util-unaware", "app+res-aware"}
+
+
+class TestDefaultBattery:
+    def test_matches_paper_esd_regime(self):
+        battery = default_battery()
+        assert battery.efficiency == pytest.approx(0.70)
+        assert battery.soc == 0.0
+        # Must supply the 80 W consolidated-ON overshoot (~40 W) and absorb
+        # the 30 W charging headroom.
+        assert battery.max_discharge_w >= 45.0
+        assert battery.max_charge_w >= 30.0

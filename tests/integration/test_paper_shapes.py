@@ -1,0 +1,150 @@
+"""Integration: the paper's headline result shapes must hold end to end.
+
+These are the acceptance tests of the reproduction (DESIGN.md section 5):
+who wins, by roughly what factor, and where the crossovers fall. They run
+the same harness the benchmarks use, on a reduced mix subset for speed -
+the benchmarks run the full Table II sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.simulation import run_mix_experiment, run_policy_comparison
+from repro.workloads.mixes import all_mixes, get_mix
+
+#: A representative subset: memory+compute (1), compute+compute (10),
+#: media+graph with strong resource contrast (14), plus 3 and 11.
+SUBSET = [get_mix(i) for i in (1, 3, 10, 11, 14)]
+
+POLICIES = ["util-unaware", "server+res-aware", "app-aware", "app+res-aware"]
+
+
+@pytest.fixture(scope="module")
+def at_100w(config):
+    return run_policy_comparison(
+        SUBSET, POLICIES, 100.0, config=config, duration_s=20.0, warmup_s=8.0
+    )
+
+
+@pytest.fixture(scope="module")
+def at_80w(config):
+    return run_policy_comparison(
+        SUBSET,
+        POLICIES + ["app+res+esd-aware"],
+        80.0,
+        config=config,
+        duration_s=40.0,
+        warmup_s=15.0,
+    )
+
+
+def mean_throughput(results, policy):
+    return float(np.mean([results[m][policy].server_throughput for m in results]))
+
+
+class TestSpatialCoordination100W:
+    """Fig. 8a: the paper's ordering and rough factors at the loose cap."""
+
+    def test_app_aware_beats_both_baselines(self, at_100w):
+        app = mean_throughput(at_100w, "app-aware")
+        assert app > mean_throughput(at_100w, "util-unaware") * 1.05
+        assert app > mean_throughput(at_100w, "server+res-aware") * 1.02
+
+    def test_app_res_beats_app_aware(self, at_100w):
+        assert mean_throughput(at_100w, "app+res-aware") > mean_throughput(
+            at_100w, "app-aware"
+        )
+
+    def test_total_gain_in_paper_range(self, at_100w):
+        """~20% end-to-end gain over the state of the art."""
+        gain = mean_throughput(at_100w, "app+res-aware") / mean_throughput(
+            at_100w, "util-unaware"
+        )
+        assert 1.10 <= gain <= 1.45
+
+    def test_baselines_are_close_to_each_other(self, at_100w):
+        # Over the full Table II the two baselines are within ~2% (see the
+        # Fig. 8 benchmark); this subset over-weights STREAM mixes, where
+        # the population-average knob is a poor fit, so allow more slack.
+        ratio = mean_throughput(at_100w, "server+res-aware") / mean_throughput(
+            at_100w, "util-unaware"
+        )
+        assert 0.82 <= ratio <= 1.15
+
+    def test_mix10_split_favors_pagerank(self, at_100w):
+        """The 55-45 split of the paper's mix-10 discussion."""
+        shares = at_100w[10]["app+res-aware"].power_share
+        assert shares["pagerank"] > 0.5 > shares["kmeans"]
+        assert shares["pagerank"] < 0.65  # a split, not a starvation
+
+    def test_average_split_is_uneven_but_mild(self, at_100w):
+        """"a 46%-54% split, on the average"."""
+        lows = []
+        for mid, per in at_100w.items():
+            shares = sorted(per["app+res-aware"].power_share.values())
+            if sum(shares) > 0:
+                lows.append(shares[0])
+        assert 0.30 <= float(np.mean(lows)) <= 0.50
+
+
+class TestTemporalCoordination80W:
+    """Fig. 10: stringent caps amplify the gains; the ESD roughly doubles."""
+
+    def test_gains_grow_with_stringency(self, at_100w, at_80w):
+        gain_100 = mean_throughput(at_100w, "app+res-aware") / mean_throughput(
+            at_100w, "util-unaware"
+        )
+        gain_80 = mean_throughput(at_80w, "app+res-aware") / mean_throughput(
+            at_80w, "util-unaware"
+        )
+        assert gain_80 > gain_100
+
+    def test_app_res_gain_is_substantial(self, at_80w):
+        """The paper reports ~70%; require at least ~25%."""
+        gain = mean_throughput(at_80w, "app+res-aware") / mean_throughput(
+            at_80w, "util-unaware"
+        )
+        assert gain >= 1.25
+
+    def test_esd_roughly_doubles(self, at_80w):
+        """"a throughput boost of nearly 2x"."""
+        esd = mean_throughput(at_80w, "app+res+esd-aware")
+        best_non_esd = mean_throughput(at_80w, "app+res-aware")
+        assert 1.5 <= esd / best_non_esd <= 4.0
+
+    def test_esd_beats_everything(self, at_80w):
+        esd = mean_throughput(at_80w, "app+res+esd-aware")
+        for policy in POLICIES:
+            assert esd > mean_throughput(at_80w, policy)
+
+    def test_absolute_throughput_lower_than_100w(self, at_100w, at_80w):
+        for policy in POLICIES:
+            assert mean_throughput(at_80w, policy) < mean_throughput(at_100w, policy)
+
+
+class TestEsdOnlyRegime70W:
+    """Fig. 5's premise: at 70 W nothing runs without the battery."""
+
+    def test_non_esd_policy_yields_zero(self, config):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res-aware",
+            70.0,
+            config=config,
+            duration_s=10.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+        )
+        assert result.server_throughput == 0.0
+
+    def test_esd_policy_extracts_work(self, config):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res+esd-aware",
+            70.0,
+            config=config,
+            duration_s=40.0,
+            warmup_s=15.0,
+            use_oracle_estimates=True,
+        )
+        assert result.server_throughput > 0.1

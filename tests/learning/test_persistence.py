@@ -1,0 +1,54 @@
+"""PreferenceMatrix persistence: save/load round trips, signature checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LearningError
+from repro.learning.crossval import build_exhaustive_corpus
+from repro.learning.matrix import PreferenceMatrix
+from repro.server.config import ServerConfig
+from repro.workloads.catalog import CATALOG
+
+
+class TestPersistence:
+    def test_round_trip(self, config, tmp_path):
+        corpus = build_exhaustive_corpus(config, [CATALOG["kmeans"], CATALOG["stream"]])
+        path = tmp_path / "corpus.npz"
+        corpus.save(path)
+        loaded = PreferenceMatrix.load(path, config)
+        assert loaded.apps == corpus.apps
+        for app in corpus.apps:
+            assert np.allclose(loaded.power_row(app), corpus.power_row(app))
+            assert np.allclose(loaded.perf_row(app), corpus.perf_row(app))
+
+    def test_partial_observations_survive(self, config, tmp_path):
+        matrix = PreferenceMatrix(config)
+        matrix.add_app("a")
+        matrix.observe("a", config.max_knob, power_w=20.0, perf=3.0)
+        path = tmp_path / "partial.npz"
+        matrix.save(path)
+        loaded = PreferenceMatrix.load(path, config)
+        assert loaded.row_observation_count("a") == 1
+        assert loaded.density() == matrix.density()
+
+    def test_mismatched_knob_space_rejected(self, config, tmp_path):
+        matrix = PreferenceMatrix(config)
+        matrix.add_app("a")
+        path = tmp_path / "m.npz"
+        matrix.save(path)
+        other = ServerConfig(dram_power_max_w=8.0)
+        with pytest.raises(LearningError):
+            PreferenceMatrix.load(path, other)
+
+    def test_loaded_corpus_trains_estimator(self, config, tmp_path):
+        from repro.learning.collaborative import CollaborativeEstimator
+
+        corpus = build_exhaustive_corpus(
+            config, [p for n, p in sorted(CATALOG.items())][:6]
+        )
+        path = tmp_path / "c.npz"
+        corpus.save(path)
+        loaded = PreferenceMatrix.load(path, config)
+        estimator = CollaborativeEstimator()
+        estimator.train(loaded)
+        assert estimator.is_trained

@@ -1,0 +1,89 @@
+"""Hypothesis: energy-conservation invariants of the battery model."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.esd.battery import LeadAcidBattery
+
+
+flows = st.lists(
+    st.tuples(
+        st.sampled_from(["charge", "discharge"]),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestSocInvariants:
+    @given(ops=flows, initial=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_soc_always_within_bounds(self, ops, initial):
+        battery = LeadAcidBattery(
+            capacity_j=500.0,
+            efficiency=0.8,
+            max_charge_w=50.0,
+            max_discharge_w=50.0,
+            initial_soc=initial,
+        )
+        for kind, power, dt in ops:
+            if kind == "charge":
+                battery.charge(battery.admissible_charge_w(power), dt)
+            else:
+                battery.discharge(battery.admissible_discharge_w(power, dt), dt)
+            assert -1e-9 <= battery.soc <= 1.0 + 1e-9
+
+    @given(ops=flows)
+    @settings(max_examples=150, deadline=None)
+    def test_energy_conservation(self, ops):
+        """stored == eta * charged - discharged, exactly, always."""
+        battery = LeadAcidBattery(
+            capacity_j=500.0, efficiency=0.75, max_charge_w=50.0, max_discharge_w=50.0
+        )
+        for kind, power, dt in ops:
+            if kind == "charge":
+                battery.charge(battery.admissible_charge_w(power), dt)
+            else:
+                battery.discharge(battery.admissible_discharge_w(power, dt), dt)
+        stats = battery.stats
+        assert battery.stored_j == pytest.approx(
+            0.75 * stats.total_charged_j - stats.total_discharged_j, abs=1e-6
+        )
+
+    @given(ops=flows)
+    @settings(max_examples=100, deadline=None)
+    def test_delivered_never_exceeds_banked(self, ops):
+        battery = LeadAcidBattery(
+            capacity_j=300.0, efficiency=0.7, max_charge_w=50.0, max_discharge_w=50.0
+        )
+        for kind, power, dt in ops:
+            if kind == "charge":
+                battery.charge(battery.admissible_charge_w(power), dt)
+            else:
+                battery.discharge(battery.admissible_discharge_w(power, dt), dt)
+            stats = battery.stats
+            assert stats.total_discharged_j <= stats.total_stored_j + 1e-9
+
+    @given(
+        reserve=st.floats(min_value=0.0, max_value=0.8),
+        ops=flows,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_reserve_floor_never_breached(self, reserve, ops):
+        battery = LeadAcidBattery(
+            capacity_j=400.0,
+            efficiency=0.8,
+            max_charge_w=50.0,
+            max_discharge_w=50.0,
+            reserve_fraction=reserve,
+            initial_soc=reserve,
+        )
+        for kind, power, dt in ops:
+            if kind == "charge":
+                battery.charge(battery.admissible_charge_w(power), dt)
+            else:
+                battery.discharge(battery.admissible_discharge_w(power, dt), dt)
+            assert battery.soc >= reserve - 1e-9

@@ -1,0 +1,132 @@
+"""Hypothesis: coordination invariants - mutual exclusion in TIME mode,
+Eq. (5) energy balance, rotation fairness."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.coordinator import (
+    AllocationPlan,
+    CoordinationMode,
+    Coordinator,
+    TimeSlot,
+)
+from repro.esd.controller import compute_duty_cycle
+from repro.server.config import KnobSetting, ServerConfig
+from repro.server.server import SimulatedServer
+from repro.workloads.catalog import CATALOG
+
+_CONFIG = ServerConfig()
+
+
+durations = st.lists(
+    st.floats(min_value=0.3, max_value=3.0), min_size=2, max_size=2
+)
+
+
+class TestTimeModeProperties:
+    @given(durations=durations, ticks=st.integers(min_value=5, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_exactly_one_app_runs_per_tick(self, durations, ticks):
+        server = SimulatedServer(_CONFIG)
+        server.admit(CATALOG["kmeans"].with_total_work(float("inf")))
+        server.admit(CATALOG["stream"].with_total_work(float("inf")))
+        knob = _CONFIG.max_knob
+        slots = tuple(
+            TimeSlot(apps=(name,), duration_s=d, knobs={name: knob})
+            for name, d in zip(("kmeans", "stream"), durations)
+        )
+        plan = AllocationPlan(
+            mode=CoordinationMode.TIME, p_cap_w=100.0, slots=slots
+        )
+        coordinator = Coordinator(server)
+        coordinator.adopt(plan)
+        for _ in range(ticks):
+            coordinator.step(0.1)
+            server.tick(0.1)
+            assert len(server.active_applications()) == 1
+
+    @given(durations=durations)
+    @settings(max_examples=25, deadline=None)
+    def test_rotation_time_shares_match_slot_durations(self, durations):
+        server = SimulatedServer(_CONFIG)
+        server.admit(CATALOG["kmeans"].with_total_work(float("inf")))
+        server.admit(CATALOG["stream"].with_total_work(float("inf")))
+        knob = _CONFIG.max_knob
+        slots = tuple(
+            TimeSlot(apps=(name,), duration_s=d, knobs={name: knob})
+            for name, d in zip(("kmeans", "stream"), durations)
+        )
+        plan = AllocationPlan(mode=CoordinationMode.TIME, p_cap_w=100.0, slots=slots)
+        coordinator = Coordinator(server)
+        coordinator.adopt(plan)
+        on_ticks = {"kmeans": 0, "stream": 0}
+        period = sum(durations)
+        cycles = 4
+        for _ in range(int(cycles * period / 0.1)):
+            coordinator.step(0.1)
+            server.tick(0.1)
+            active = server.active_applications()[0]
+            on_ticks[active] += 1
+        total = sum(on_ticks.values())
+        expected = durations[0] / period
+        observed = on_ticks["kmeans"] / total
+        assert observed == pytest.approx(expected, abs=0.12)
+
+
+class TestEquationFiveProperties:
+    @given(
+        sum_app_w=st.floats(min_value=5.0, max_value=60.0),
+        cap=st.floats(min_value=55.0, max_value=125.0),
+        eta=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_energy_balance_always_holds(self, sum_app_w, cap, eta):
+        cycle = compute_duty_cycle(
+            p_idle_w=50.0,
+            p_cm_w=20.0,
+            sum_app_w=sum_app_w,
+            p_cap_w=cap,
+            efficiency=eta,
+            period_s=10.0,
+        )
+        banked = eta * cycle.charge_w * cycle.off_s
+        spent = cycle.discharge_w * cycle.on_s
+        assert banked == pytest.approx(spent, abs=1e-6)
+
+    @given(
+        sum_app_w=st.floats(min_value=5.0, max_value=60.0),
+        cap=st.floats(min_value=55.0, max_value=125.0),
+        eta=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_phases_fill_the_period(self, sum_app_w, cap, eta):
+        cycle = compute_duty_cycle(
+            p_idle_w=50.0,
+            p_cm_w=20.0,
+            sum_app_w=sum_app_w,
+            p_cap_w=cap,
+            efficiency=eta,
+            period_s=10.0,
+        )
+        assert cycle.off_s + cycle.on_s == pytest.approx(10.0)
+        assert cycle.off_s >= 0.0 and cycle.on_s > 0.0
+
+    @given(
+        sum_app_w=st.floats(min_value=5.0, max_value=60.0),
+        eta=st.floats(min_value=0.2, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_on_fraction_monotone_in_cap(self, sum_app_w, eta):
+        fractions = []
+        for cap in (60.0, 75.0, 90.0, 105.0, 120.0):
+            cycle = compute_duty_cycle(
+                p_idle_w=50.0,
+                p_cm_w=20.0,
+                sum_app_w=sum_app_w,
+                p_cap_w=cap,
+                efficiency=eta,
+                period_s=10.0,
+            )
+            fractions.append(cycle.on_fraction)
+        assert all(b >= a - 1e-9 for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,94 @@
+"""Hypothesis: monotonicity and consistency of the power/perf models over
+randomly generated (valid) workload profiles and knob settings."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.server.config import KnobSetting, ServerConfig
+from repro.server.perf_model import PerformanceModel
+from repro.server.power_model import PowerModel
+from repro.workloads.profiles import WorkloadProfile
+
+_CONFIG = ServerConfig()
+_PERF = PerformanceModel(_CONFIG)
+_POWER = PowerModel(_CONFIG, _PERF)
+
+
+profiles = st.builds(
+    WorkloadProfile,
+    name=st.just("generated"),
+    wclass=st.just("graph"),
+    parallel_fraction=st.floats(min_value=0.0, max_value=1.0),
+    base_rate=st.floats(min_value=0.1, max_value=5.0),
+    dvfs_sensitivity=st.floats(min_value=0.0, max_value=1.0),
+    mem_gb_per_work=st.floats(min_value=0.0, max_value=3.0),
+    activity_factor=st.floats(min_value=0.05, max_value=1.0),
+    total_work=st.just(1000.0),
+)
+
+knobs = st.builds(
+    KnobSetting,
+    freq_ghz=st.sampled_from(_CONFIG.frequencies_ghz),
+    cores=st.sampled_from(_CONFIG.core_counts),
+    dram_power_w=st.sampled_from(_CONFIG.dram_powers_w),
+)
+
+
+class TestModelInvariants:
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_and_power_nonnegative(self, profile, knob):
+        assert _PERF.rate(profile, knob) >= 0.0
+        assert _POWER.app_power_w(profile, knob) >= 0.0
+
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=200, deadline=None)
+    def test_rate_bounded_by_compute_and_memory(self, profile, knob):
+        r = _PERF.rate(profile, knob)
+        assert r <= _PERF.compute_rate(profile, knob) + 1e-9
+        assert r <= _PERF.memory_rate(profile, knob) + 1e-9
+
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=200, deadline=None)
+    def test_dram_power_within_allocation(self, profile, knob):
+        assert _POWER.dram_power_w(profile, knob) <= knob.dram_power_w + 1e-9
+
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=200, deadline=None)
+    def test_max_knob_dominates(self, profile, knob):
+        """No setting outperforms the uncapped knob, and none draws more."""
+        assert _PERF.rate(profile, knob) <= _PERF.peak_rate(profile) + 1e-9
+        assert (
+            _POWER.app_power_w(profile, knob)
+            <= _POWER.app_power_w(profile, _CONFIG.max_knob) + 1e-9
+        )
+
+    @given(profile=profiles)
+    @settings(max_examples=100, deadline=None)
+    def test_frequency_monotone_everywhere(self, profile):
+        for n in (1, 3, 6):
+            rates = [
+                _PERF.rate(profile, KnobSetting(f, n, 10.0))
+                for f in _CONFIG.frequencies_ghz
+            ]
+            assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+
+    @given(profile=profiles)
+    @settings(max_examples=100, deadline=None)
+    def test_power_monotone_in_frequency(self, profile):
+        powers = [
+            _POWER.app_power_w(profile, KnobSetting(f, 6, 10.0))
+            for f in _CONFIG.frequencies_ghz
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(powers, powers[1:]))
+
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=150, deadline=None)
+    def test_utilization_bounded(self, profile, knob):
+        assert 0.0 <= _PERF.core_utilization(profile, knob) <= 1.0
+
+    @given(profile=profiles, knob=knobs)
+    @settings(max_examples=150, deadline=None)
+    def test_traffic_consistent_with_rate(self, profile, knob):
+        traffic = _PERF.achieved_bandwidth_gbs(profile, knob)
+        assert traffic == _PERF.rate(profile, knob) * profile.mem_gb_per_work

@@ -1,0 +1,141 @@
+"""Knob controller: validated actuation of f/n/m and suspend/resume."""
+
+import pytest
+
+from repro.errors import KnobError, SchedulingError
+from repro.server.config import KnobSetting
+from repro.server.knobs import KnobController
+from repro.server.rapl import RaplInterface
+from repro.server.topology import ServerTopology
+
+
+@pytest.fixture()
+def setup(config):
+    topo = ServerTopology(config)
+    rapl = RaplInterface(config.sockets)
+    knobs = KnobController(config, topo, rapl)
+    topo.admit("a")
+    topo.admit("b")
+    return topo, rapl, knobs
+
+
+class TestAttachment:
+    def test_attach_defaults_to_max_knob(self, setup, config):
+        _, _, knobs = setup
+        knobs.attach("a")
+        assert knobs.knob_of("a") == config.max_knob
+
+    def test_attach_with_initial(self, setup):
+        _, _, knobs = setup
+        initial = KnobSetting(1.5, 3, 6.0)
+        knobs.attach("a", initial)
+        assert knobs.knob_of("a") == initial
+
+    def test_attach_requires_admission(self, setup):
+        _, _, knobs = setup
+        with pytest.raises(SchedulingError):
+            knobs.attach("ghost")
+
+    def test_double_attach_rejected(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        with pytest.raises(SchedulingError):
+            knobs.attach("a")
+
+    def test_detach(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.detach("a")
+        assert knobs.attached() == []
+
+
+class TestActuation:
+    def test_set_frequency_only(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.set_frequency("a", 1.4)
+        knob = knobs.knob_of("a")
+        assert knob.freq_ghz == 1.4
+        assert knob.cores == 6
+
+    def test_set_cores_only(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.set_cores("a", 3)
+        assert knobs.knob_of("a").cores == 3
+
+    def test_set_dram_only(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.set_dram_power("a", 5.0)
+        assert knobs.knob_of("a").dram_power_w == 5.0
+
+    def test_off_grid_setting_rejected(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        with pytest.raises(KnobError):
+            knobs.set_frequency("a", 1.55)
+
+    def test_cores_beyond_group_rejected(self, setup, config):
+        topo, rapl, _ = setup
+        narrow_topo = ServerTopology(config)
+        narrow_topo.admit("n", width=3)
+        narrow = KnobController(config, narrow_topo, RaplInterface(config.sockets))
+        narrow.attach("n", KnobSetting(2.0, 3, 10.0))
+        with pytest.raises(KnobError):
+            narrow.set_cores("n", 4)
+
+
+class TestDramLimitMirroring:
+    def test_attach_pushes_dram_limit(self, setup):
+        topo, rapl, knobs = setup
+        knobs.attach("a")
+        socket = topo.group_of("a").socket
+        assert rapl.power_limit(f"dram-{socket}") == 10.0
+
+    def test_set_dram_updates_limit(self, setup):
+        topo, rapl, knobs = setup
+        knobs.attach("a")
+        knobs.set_dram_power("a", 4.0)
+        socket = topo.group_of("a").socket
+        assert rapl.power_limit(f"dram-{socket}") == 4.0
+
+    def test_shared_socket_sums_limits(self, config):
+        topo = ServerTopology(config)
+        rapl = RaplInterface(config.sockets)
+        knobs = KnobController(config, topo, rapl)
+        a = topo.admit("a", width=3)
+        topo.admit("filler", width=6)  # occupy the other socket
+        topo.admit("c", width=3)  # shares with a
+        knobs.attach("a", KnobSetting(2.0, 3, 6.0))
+        knobs.attach("c", KnobSetting(2.0, 3, 4.0))
+        assert rapl.power_limit(f"dram-{a.socket}") == 10.0
+
+
+class TestSuspendResume:
+    def test_suspend_removes_from_running(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.attach("b")
+        knobs.suspend("a")
+        assert knobs.running_apps() == ["b"]
+        assert knobs.is_suspended("a")
+
+    def test_resume_restores(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.suspend("a")
+        knobs.resume("a")
+        assert knobs.running_apps() == ["a"]
+
+    def test_suspend_is_idempotent(self, setup):
+        _, _, knobs = setup
+        knobs.attach("a")
+        knobs.suspend("a")
+        knobs.suspend("a")
+        assert knobs.is_suspended("a")
+
+    def test_unknown_app_rejected(self, setup):
+        _, _, knobs = setup
+        with pytest.raises(SchedulingError):
+            knobs.suspend("ghost")

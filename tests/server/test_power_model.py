@@ -1,0 +1,136 @@
+"""Power model: Eq. (2) decomposition, worked examples from Section II-A."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.config import KnobSetting
+from repro.server.power_model import PowerBreakdown, PowerModel
+from repro.workloads.catalog import CATALOG
+
+
+def knob(f=2.0, n=6, m=10.0):
+    return KnobSetting(f, n, m)
+
+
+class TestAppPower:
+    def test_uncapped_demand_near_paper_20w(self, power_model):
+        """Section II-A: an application's dynamic power is about 20 W."""
+        for profile in CATALOG.values():
+            demand = power_model.max_app_power_w(profile)
+            assert 13.0 <= demand <= 27.0, profile.name
+
+    def test_min_power_near_paper_10w(self, power_model):
+        """Section IV-B: "each needs a minimum of 10 W to run"."""
+        for profile in CATALOG.values():
+            minimum = power_model.min_app_power_w(profile)
+            assert 6.0 <= minimum <= 11.0, profile.name
+
+    def test_power_grows_with_frequency(self, power_model, kmeans):
+        p_low = power_model.app_power_w(kmeans, knob(f=1.2))
+        p_high = power_model.app_power_w(kmeans, knob(f=2.0))
+        assert p_high > p_low
+
+    def test_power_grows_with_cores_for_compute_apps(self, power_model, kmeans):
+        p1 = power_model.app_power_w(kmeans, knob(n=1))
+        p6 = power_model.app_power_w(kmeans, knob(n=6))
+        assert p6 > p1
+
+    def test_dram_power_respects_allocation(self, power_model, stream):
+        for m in (3.0, 5.0, 8.0, 10.0):
+            assert power_model.dram_power_w(stream, knob(m=m)) <= m + 1e-9
+
+    def test_memory_bound_app_draws_its_dram_allocation(self, power_model, stream):
+        # STREAM saturates whatever bandwidth the allocation buys.
+        assert power_model.dram_power_w(stream, knob(m=8.0)) == pytest.approx(8.0, abs=0.3)
+
+    def test_compute_app_dram_power_tracks_demand_not_allocation(
+        self, power_model, kmeans
+    ):
+        p_small = power_model.dram_power_w(kmeans, knob(m=4.0))
+        p_large = power_model.dram_power_w(kmeans, knob(m=10.0))
+        # Raising the allocation above demand does not add draw.
+        assert p_large == pytest.approx(p_small, abs=0.2)
+
+    def test_stalled_cores_draw_less(self, power_model, stream, kmeans):
+        # Same core count and frequency: the memory-stalled app's cores
+        # draw less than the busy app's.
+        assert power_model.core_power_w(stream, knob()) < power_model.core_power_w(
+            kmeans, knob()
+        )
+
+
+class TestServerBreakdown:
+    def test_idle_server_draws_p_idle_plus_cm(self, power_model, config):
+        down = power_model.server_breakdown({})
+        assert down.idle_w == config.p_idle_w
+        assert down.cm_w == config.p_cm_w  # uncore awake while merely idle
+        assert down.wall_w == 70.0
+
+    def test_deep_sleep_drops_cm(self, power_model, config):
+        down = power_model.server_breakdown({}, deep_sleep=True)
+        assert down.cm_w == 0.0
+        assert down.wall_w == config.p_idle_w
+
+    def test_single_app_near_paper_90w(self, power_model, kmeans):
+        """Section II-A: one app in isolation pushes the server to ~90 W."""
+        down = power_model.server_breakdown({"kmeans": (kmeans, knob())})
+        assert down.wall_w == pytest.approx(90.0, abs=7.0)
+
+    def test_two_apps_pay_cm_once(self, power_model, kmeans, pagerank):
+        """Section II-A: co-location amortizes P_cm (the non-convexity)."""
+        solo_a = power_model.server_breakdown({"a": (kmeans, knob())})
+        solo_b = power_model.server_breakdown({"b": (pagerank, knob())})
+        both = power_model.server_breakdown(
+            {"a": (kmeans, knob()), "b": (pagerank, knob())}
+        )
+        assert both.wall_w == pytest.approx(
+            solo_a.wall_w + solo_b.wall_w - 70.0, abs=1e-6
+        )
+
+    def test_esd_flows_enter_wall_power(self, power_model, kmeans):
+        charge = power_model.server_breakdown(
+            {"a": (kmeans, knob())}, esd_charge_w=15.0
+        )
+        discharge = power_model.server_breakdown(
+            {"a": (kmeans, knob())}, esd_discharge_w=15.0
+        )
+        base = power_model.server_breakdown({"a": (kmeans, knob())})
+        assert charge.wall_w == pytest.approx(base.wall_w + 15.0)
+        assert discharge.wall_w == pytest.approx(base.wall_w - 15.0)
+
+    def test_simultaneous_charge_and_discharge_rejected(self, power_model):
+        with pytest.raises(ConfigurationError):
+            power_model.server_breakdown({}, esd_charge_w=5.0, esd_discharge_w=5.0)
+
+    def test_negative_flows_rejected(self, power_model):
+        with pytest.raises(ConfigurationError):
+            power_model.server_breakdown({}, esd_charge_w=-1.0)
+
+    def test_deep_sleep_with_running_apps_rejected(self, power_model, kmeans):
+        with pytest.raises(ConfigurationError):
+            power_model.server_breakdown({"a": (kmeans, knob())}, deep_sleep=True)
+
+    def test_breakdown_components_sum_to_wall(self, power_model, kmeans, stream):
+        down = power_model.server_breakdown(
+            {"a": (kmeans, knob()), "b": (stream, knob())},
+            esd_charge_w=5.0,
+        )
+        assert down.wall_w == pytest.approx(
+            down.idle_w + down.cm_w + down.dynamic_w + 5.0
+        )
+
+    def test_served_excludes_esd(self, power_model, kmeans):
+        down = power_model.server_breakdown(
+            {"a": (kmeans, knob())}, esd_discharge_w=10.0
+        )
+        assert down.served_w == pytest.approx(down.wall_w + 10.0)
+
+
+class TestConstruction:
+    def test_mismatched_perf_model_rejected(self, config):
+        from repro.server.config import ServerConfig
+        from repro.server.perf_model import PerformanceModel
+
+        other = PerformanceModel(ServerConfig())
+        with pytest.raises(ConfigurationError):
+            PowerModel(config, other)

@@ -1,0 +1,109 @@
+"""RAPL interface: counters, limits, violations, noise."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.rapl import RaplInterface
+
+
+@pytest.fixture()
+def rapl():
+    return RaplInterface(sockets=2)
+
+
+class TestDomains:
+    def test_expected_domains_exist(self, rapl):
+        assert rapl.domain_names == [
+            "dram-0",
+            "dram-1",
+            "package-0",
+            "package-1",
+            "psys",
+        ]
+
+    def test_unknown_domain_rejected(self, rapl):
+        with pytest.raises(ConfigurationError):
+            rapl.domain("package-7")
+
+    def test_needs_at_least_one_socket(self):
+        with pytest.raises(ConfigurationError):
+            RaplInterface(sockets=0)
+
+
+class TestCounters:
+    def test_energy_accumulates(self, rapl):
+        rapl.advance({"psys": 100.0}, 2.0)
+        rapl.advance({"psys": 50.0}, 1.0)
+        assert rapl.read_energy_j("psys") == pytest.approx(250.0)
+
+    def test_counters_are_monotonic(self, rapl):
+        values = []
+        for _ in range(5):
+            rapl.advance({"package-0": 30.0}, 0.1)
+            values.append(rapl.read_energy_j("package-0"))
+        assert values == sorted(values)
+
+    def test_missing_domains_accumulate_zero(self, rapl):
+        rapl.advance({"psys": 100.0}, 1.0)
+        assert rapl.read_energy_j("dram-0") == 0.0
+
+    def test_negative_power_rejected(self, rapl):
+        with pytest.raises(ConfigurationError):
+            rapl.advance({"psys": -1.0}, 1.0)
+
+    def test_time_cannot_go_backwards(self, rapl):
+        with pytest.raises(ConfigurationError):
+            rapl.advance({"psys": 1.0}, -0.1)
+
+
+class TestPowerReadings:
+    def test_noise_free_reading_is_exact(self, rapl):
+        rapl.advance({"psys": 88.0}, 0.1)
+        assert rapl.read_power_w("psys") == 88.0
+
+    def test_noisy_readings_vary_but_stay_nonnegative(self):
+        noisy = RaplInterface(sockets=1, noise_std_w=5.0, seed=42)
+        noisy.advance({"psys": 1.0}, 0.1)
+        readings = [noisy.read_power_w("psys") for _ in range(50)]
+        assert min(readings) >= 0.0
+        assert len(set(readings)) > 1
+
+    def test_noise_is_seeded(self):
+        a = RaplInterface(sockets=1, noise_std_w=2.0, seed=7)
+        b = RaplInterface(sockets=1, noise_std_w=2.0, seed=7)
+        a.advance({"psys": 50.0}, 0.1)
+        b.advance({"psys": 50.0}, 0.1)
+        assert a.read_power_w("psys") == b.read_power_w("psys")
+
+    def test_negative_noise_std_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RaplInterface(sockets=1, noise_std_w=-1.0)
+
+
+class TestLimits:
+    def test_set_and_read_limit(self, rapl):
+        rapl.set_power_limit("dram-0", 7.0)
+        assert rapl.power_limit("dram-0") == 7.0
+
+    def test_clear_limit(self, rapl):
+        rapl.set_power_limit("dram-0", 7.0)
+        rapl.set_power_limit("dram-0", None)
+        assert rapl.power_limit("dram-0") is None
+
+    def test_nonpositive_limit_rejected(self, rapl):
+        with pytest.raises(ConfigurationError):
+            rapl.set_power_limit("dram-0", 0.0)
+
+    def test_violation_detection(self, rapl):
+        rapl.set_power_limit("package-0", 20.0)
+        rapl.advance({"package-0": 25.0}, 0.1)
+        assert rapl.violations() == ["package-0"]
+
+    def test_no_violation_at_limit(self, rapl):
+        rapl.set_power_limit("package-0", 20.0)
+        rapl.advance({"package-0": 20.0}, 0.1)
+        assert rapl.violations() == []
+
+    def test_uncapped_domain_never_violates(self, rapl):
+        rapl.advance({"package-0": 1000.0}, 0.1)
+        assert rapl.violations() == []

@@ -1,0 +1,103 @@
+"""The command-line interface: every subcommand runs and prints its report."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mix", "--policy", "heracles"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["utility", "--app", "doom"])
+
+
+class TestSubcommands:
+    def test_mix(self, capsys):
+        code = main(
+            [
+                "mix", "--mix", "10", "--cap", "100", "--oracle",
+                "--duration", "6", "--warmup", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pagerank" in out and "kmeans" in out
+        assert "server throughput" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            [
+                "compare", "--cap", "100", "--mixes", "10",
+                "--policies", "util-unaware,app+res-aware",
+                "--oracle", "--duration", "6", "--warmup", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "util-unaware" in out and "app+res-aware" in out
+        assert "relative to util-unaware" in out
+
+    def test_utility(self, capsys):
+        code = main(["utility", "--app", "stream"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "memory" in out
+        assert "demand" in out
+
+    def test_calibrate(self, capsys):
+        code = main(["calibrate", "--fractions", "0.05,0.10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "10%" in out
+        assert "power RMSE" in out
+
+    def test_dynamic(self, capsys):
+        code = main(
+            [
+                "dynamic", "--rate", "0.05", "--horizon", "60",
+                "--work", "20", "--oracle", "--cap", "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "admitted" in out
+        assert "mean normalized throughput" in out
+
+    @pytest.mark.slow
+    def test_cluster_fast(self, capsys):
+        code = main(["cluster", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "equal-ours" in out
+
+
+class TestExtensionSubcommands:
+    def test_place(self, capsys):
+        code = main(["place", "--caps", "120,85", "--jobs", "stream,kmeans"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "power-aware" in out
+        assert "s0(120W)" in out
+
+    def test_place_unknown_job_fails_loudly(self):
+        with pytest.raises(Exception):
+            main(["place", "--jobs", "doom"])
+
+    def test_zones(self, capsys):
+        code = main(["zones", "--mix", "1", "--limits", "14,11", "--duration", "15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stream" in out and "kmeans" in out
+        assert "wall power" in out
+
+    def test_zones_wrong_limit_count(self):
+        with pytest.raises(SystemExit):
+            main(["zones", "--mix", "1", "--limits", "14"])

@@ -1,0 +1,95 @@
+"""Unit helpers: conversions, clamping, ranges, means."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_watt_hours_to_joules(self):
+        assert units.watt_hours(1.0) == 3600.0
+
+    def test_joules_roundtrip(self):
+        assert units.joules_to_watt_hours(units.watt_hours(2.5)) == pytest.approx(2.5)
+
+    def test_ghz_and_watts_are_identity(self):
+        assert units.ghz(1.2) == 1.2
+        assert units.watts(50) == 50.0
+
+
+class TestWithinCap:
+    def test_exact_cap_is_within(self):
+        assert units.within_cap(100.0, 100.0)
+
+    def test_tolerance_allows_float_drift(self):
+        assert units.within_cap(100.0 + 1e-9, 100.0)
+
+    def test_real_violation_detected(self):
+        assert not units.within_cap(100.1, 100.0)
+
+    def test_custom_tolerance(self):
+        assert units.within_cap(100.5, 100.0, tolerance_w=1.0)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_clamps_low_and_high(self):
+        assert units.clamp(-1.0, 0.0, 10.0) == 0.0
+        assert units.clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(5.0, 10.0, 0.0)
+
+
+class TestFrange:
+    def test_paper_dvfs_steps(self):
+        steps = units.frange(1.2, 2.0, 0.1)
+        assert len(steps) == 9
+        assert steps[0] == 1.2
+        assert steps[-1] == 2.0
+
+    def test_no_float_drift(self):
+        steps = units.frange(3.0, 10.0, 1.0)
+        assert steps == [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+
+    def test_single_point(self):
+        assert units.frange(1.0, 1.0, 0.5) == [1.0]
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError):
+            units.frange(0.0, 1.0, -0.1)
+
+
+class TestMeans:
+    def test_harmonic_mean_of_equal_values(self):
+        assert units.harmonic_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_harmonic_mean_below_arithmetic(self):
+        values = [1.0, 4.0]
+        assert units.harmonic_mean(values) < sum(values) / 2
+
+    def test_harmonic_mean_empty(self):
+        assert units.harmonic_mean([]) == 0.0
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.harmonic_mean([1.0, 0.0])
+
+    def test_geometric_mean_known_value(self):
+        assert units.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_empty(self):
+        assert units.geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([-1.0])
+
+    def test_nearly_equal(self):
+        assert units.nearly_equal(1.0, 1.0 + 1e-9)
+        assert not units.nearly_equal(1.0, 1.1)

@@ -1,0 +1,56 @@
+"""Table II mixes: verbatim reproduction of the paper's pairs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.mixes import MIXES, all_mixes, get_mix
+
+
+class TestTableII:
+    def test_fifteen_mixes(self):
+        assert len(MIXES) == 15
+        assert sorted(MIXES) == list(range(1, 16))
+
+    @pytest.mark.parametrize(
+        "mix_id, app1, app2",
+        [
+            (1, "stream", "kmeans"),
+            (2, "connected", "kmeans"),
+            (3, "stream", "bfs"),
+            (4, "facesim", "bfs"),
+            (5, "ferret", "betweenness"),
+            (6, "ferret", "pagerank"),
+            (7, "facesim", "betweenness"),
+            (8, "x264", "triangle"),
+            (9, "apr", "connected"),
+            (10, "pagerank", "kmeans"),
+            (11, "ferret", "sssp"),
+            (12, "facesim", "x264"),
+            (13, "apr", "kmeans"),
+            (14, "x264", "sssp"),
+            (15, "apr", "x264"),
+        ],
+    )
+    def test_verbatim_pairs(self, mix_id, app1, app2):
+        mix = get_mix(mix_id)
+        assert mix.names() == (app1, app2)
+
+    def test_profiles_resolve_to_catalog(self):
+        for mix in all_mixes():
+            a, b = mix.profiles()
+            assert a.name == mix.app1
+            assert b.name == mix.app2
+
+    def test_no_mix_pairs_an_app_with_itself(self):
+        for mix in all_mixes():
+            assert mix.app1 != mix.app2
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_mix(16)
+
+    def test_all_mixes_in_order(self):
+        assert [m.mix_id for m in all_mixes()] == list(range(1, 16))
+
+    def test_str_form(self):
+        assert str(get_mix(1)) == "mix-1(stream+kmeans)"

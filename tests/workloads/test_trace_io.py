@@ -1,0 +1,66 @@
+"""Trace CSV import/export."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import ClusterPowerTrace
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = ClusterPowerTrace.synthetic_diurnal(peak_w=500.0, step_s=300.0, seed=4)
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = ClusterPowerTrace.from_csv(path)
+        assert loaded.step_s == trace.step_s
+        assert loaded.demand_w == pytest.approx(trace.demand_w)
+
+    def test_header_written(self, tmp_path):
+        trace = ClusterPowerTrace(step_s=60.0, demand_w=(1.0, 2.0))
+        path = tmp_path / "t.csv"
+        trace.to_csv(path)
+        assert path.read_text().splitlines()[0] == "time_s,demand_w"
+
+    def test_foreign_csv_loads(self, tmp_path):
+        path = tmp_path / "telemetry.csv"
+        path.write_text("time_s,demand_w\n0,100\n30,150\n60,120\n")
+        trace = ClusterPowerTrace.from_csv(path)
+        assert trace.step_s == 30.0
+        assert trace.peak_w == 150.0
+
+    def test_nonuniform_steps_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,demand_w\n0,100\n30,150\n100,120\n")
+        with pytest.raises(ConfigurationError):
+            ClusterPowerTrace.from_csv(path)
+
+    def test_too_short_rejected(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("time_s,demand_w\n0,100\n")
+        with pytest.raises(ConfigurationError):
+            ClusterPowerTrace.from_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            ClusterPowerTrace.from_csv(path)
+
+    def test_loaded_trace_drives_cluster_run(self, tmp_path, config):
+        """A CSV trace plugs straight into the Fig. 12 harness."""
+        from repro.cluster.cluster import ClusterSimulator
+
+        simulator = ClusterSimulator(config)
+        trace = ClusterPowerTrace.synthetic_diurnal(
+            peak_w=simulator.uncapped_cluster_power_w(), step_s=1800.0, seed=5
+        )
+        path = tmp_path / "cluster.csv"
+        trace.to_csv(path)
+        loaded = ClusterPowerTrace.from_csv(path)
+        experiment = simulator.run(
+            trace=loaded,
+            shave_fractions=(0.15,),
+            duration_s=10.0,
+            warmup_s=5.0,
+        )
+        assert 0.15 in experiment.results
