@@ -11,7 +11,9 @@ from repro.analysis.metrics import (
     speedup_over,
     power_split_stats,
     summarize_policies,
+    summarize_resilience,
     PolicySummary,
+    ResilienceSummary,
 )
 from repro.analysis.reporting import format_table, format_series, banner
 from repro.analysis.timeline import (
@@ -30,7 +32,9 @@ __all__ = [
     "speedup_over",
     "power_split_stats",
     "summarize_policies",
+    "summarize_resilience",
     "PolicySummary",
+    "ResilienceSummary",
     "format_table",
     "format_series",
     "banner",

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.core.resilience import FaultStats
 from repro.core.simulation import MixExperimentResult
 
 
@@ -73,6 +74,67 @@ def power_split_stats(
     if not lows:
         return (0.5, 0.5)
     return (float(np.mean(lows)), float(np.mean(highs)))
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Condensed fault/recovery accounting for one mediated run.
+
+    Attributes:
+        fault_count: Fault episodes raised (injected or detected).
+        recovered_count: Episodes that closed (the rest were still open at
+            the end of the run).
+        breach_ticks: Ticks whose true wall power exceeded the cap.
+        emergency_throttles: Times the emergency floor-throttle fired.
+        actuation_retries: Knob-write retries performed.
+        actuation_escalations: Retry sequences that ended in suspension.
+        degraded_ticks: Ticks spent in degraded telemetry mode.
+        degraded_fraction: ``degraded_ticks`` over the run's total ticks
+            (``0.0`` when ``total_ticks`` is unknown or zero).
+        crashes: Unexpected application exits.
+        mttr_s: Mean time to repair over closed episodes, or ``None`` when
+            nothing closed.
+    """
+
+    fault_count: int
+    recovered_count: int
+    breach_ticks: int
+    emergency_throttles: int
+    actuation_retries: int
+    actuation_escalations: int
+    degraded_ticks: int
+    degraded_fraction: float
+    crashes: int
+    mttr_s: float | None
+
+
+def summarize_resilience(
+    stats: FaultStats, *, total_ticks: int | None = None
+) -> ResilienceSummary:
+    """Condense a run's :class:`FaultStats` into the reported counters.
+
+    Args:
+        stats: The mediator's fault ledger (``mediator.fault_stats`` or the
+            ``fault_stats`` field of an experiment result).
+        total_ticks: Run length in ticks, for ``degraded_fraction``; pass
+            ``len(mediator.timeline)`` when available.
+    """
+    recovered = sum(1 for ep in stats.episodes if not ep.open)
+    fraction = (
+        stats.degraded_ticks / total_ticks if total_ticks else 0.0
+    )
+    return ResilienceSummary(
+        fault_count=len(stats.episodes),
+        recovered_count=recovered,
+        breach_ticks=stats.breach_ticks,
+        emergency_throttles=stats.emergency_throttles,
+        actuation_retries=stats.actuation_retries,
+        actuation_escalations=stats.actuation_escalations,
+        degraded_ticks=stats.degraded_ticks,
+        degraded_fraction=fraction,
+        crashes=stats.crashes,
+        mttr_s=stats.mttr_s(),
+    )
 
 
 def summarize_policies(

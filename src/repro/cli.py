@@ -14,6 +14,7 @@ Subcommands:
 Examples::
 
     python -m repro mix --mix 10 --cap 100
+    python -m repro mix --mix 10 --cap 80 --faults default
     python -m repro compare --cap 80 --mixes 1,10,14 --policies util-unaware,app+res-aware
     python -m repro utility --app stream
     python -m repro cluster --fast
@@ -26,6 +27,7 @@ import sys
 
 import numpy as np
 
+from repro.analysis.metrics import summarize_resilience
 from repro.analysis.reporting import banner, format_series, format_table
 from repro.core.policies import POLICY_NAMES
 from repro.core.simulation import (
@@ -34,6 +36,8 @@ from repro.core.simulation import (
     run_policy_comparison,
 )
 from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
+from repro.errors import FaultError
+from repro.faults import FaultPlan, default_fault_plan
 from repro.cluster.cluster import ClusterSimulator
 from repro.learning.crossval import calibrate_sampling_fraction
 from repro.server.config import ServerConfig
@@ -51,8 +55,36 @@ def _parse_policies(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _load_fault_plan(arg: str | None) -> FaultPlan | None:
+    """Resolve the ``--faults`` argument: a JSON plan path, or the literal
+    ``default`` for the built-in demonstration plan."""
+    if arg is None:
+        return None
+    if arg == "default":
+        return default_fault_plan()
+    try:
+        return FaultPlan.load(arg)
+    except FaultError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _print_resilience(fault_stats, total_ticks: int) -> None:
+    summary = summarize_resilience(fault_stats, total_ticks=total_ticks)
+    mttr = "-" if summary.mttr_s is None else f"{summary.mttr_s:.2f} s"
+    print(
+        f"faults {summary.fault_count} ({summary.recovered_count} recovered, "
+        f"MTTR {mttr}); breach ticks {summary.breach_ticks}; "
+        f"emergency throttles {summary.emergency_throttles}; "
+        f"retries {summary.actuation_retries} "
+        f"({summary.actuation_escalations} escalated); "
+        f"degraded telemetry {summary.degraded_fraction:.0%} of run; "
+        f"crashes {summary.crashes}"
+    )
+
+
 def cmd_mix(args: argparse.Namespace) -> int:
     mix = get_mix(args.mix)
+    faults = _load_fault_plan(args.faults)
     result = run_mix_experiment(
         list(mix.profiles()),
         args.policy,
@@ -62,6 +94,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         warmup_s=args.warmup,
         use_oracle_estimates=args.oracle,
         seed=args.seed,
+        faults=faults,
     )
     print(banner(f"{mix} @ {args.cap:.0f} W under {args.policy}"))
     rows = [
@@ -73,6 +106,10 @@ def cmd_mix(args: argparse.Namespace) -> int:
         f"server throughput {result.server_throughput:.3f}; "
         f"mean wall power {result.mean_wall_power_w:.1f} W"
     )
+    if faults is not None and result.fault_stats is not None:
+        _print_resilience(
+            result.fault_stats, total_ticks=int(round(args.duration / 0.1))
+        )
     return 0
 
 
@@ -160,6 +197,7 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
             for e in schedule.events
         ]
     )
+    faults = _load_fault_plan(args.faults)
     result = run_dynamic_experiment(
         schedule,
         args.policy,
@@ -167,13 +205,20 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
         horizon_s=args.horizon,
         use_oracle_estimates=args.oracle,
         seed=args.seed,
+        faults=faults,
     )
     print(banner(f"dynamic arrivals @ {args.cap:.0f} W under {args.policy}"))
     print(f"admitted  {len(result.admitted)}: {', '.join(result.admitted) or '-'}")
     print(f"rejected  {len(result.rejected)}: {', '.join(result.rejected) or '-'}")
     print(f"completed {len(result.completed)}: {', '.join(result.completed) or '-'}")
+    if result.crashed:
+        print(f"crashed   {len(result.crashed)}: {', '.join(result.crashed)}")
     print(f"mean normalized throughput {result.mean_normalized_throughput:.3f}")
     print(f"events: {result.events}")
+    if faults is not None and result.fault_stats is not None:
+        _print_resilience(
+            result.fault_stats, total_ticks=int(round(args.horizon / 0.1))
+        )
     return 0
 
 
@@ -282,12 +327,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="bypass online learning (true response surfaces)",
         )
 
+    def faults_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--faults",
+            type=str,
+            default=None,
+            metavar="PLAN.json",
+            help="inject faults from a JSON plan ('default' for the built-in plan)",
+        )
+
     p_mix = sub.add_parser("mix", help="one co-location under one policy")
     p_mix.add_argument("--mix", type=int, default=10, help="Table II mix id (1-15)")
     p_mix.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
     p_mix.add_argument("--duration", type=float, default=30.0)
     p_mix.add_argument("--warmup", type=float, default=10.0)
     common(p_mix)
+    faults_arg(p_mix)
     p_mix.set_defaults(func=cmd_mix)
 
     p_cmp = sub.add_parser("compare", help="policies x mixes comparison")
@@ -318,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--work", type=float, default=100.0, help="work units per arrival")
     p_dyn.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
     common(p_dyn)
+    faults_arg(p_dyn)
     p_dyn.set_defaults(func=cmd_dynamic)
 
     p_clu = sub.add_parser("cluster", help="cluster peak shaving (Fig. 12)")

@@ -16,7 +16,12 @@ Public API: :class:`~repro.cluster.cluster.ClusterSimulator` and the policy
 evaluators in :mod:`~repro.cluster.manager`.
 """
 
-from repro.cluster.cluster import ClusterSimulator, ClusterPolicyResult, ClusterExperiment
+from repro.cluster.cluster import (
+    ClusterSimulator,
+    ClusterPolicyResult,
+    ClusterExperiment,
+    NodeOutage,
+)
 from repro.cluster.manager import (
     CLUSTER_POLICY_NAMES,
     evaluate_equal_policy_bin,
@@ -34,6 +39,7 @@ __all__ = [
     "ClusterSimulator",
     "ClusterPolicyResult",
     "ClusterExperiment",
+    "NodeOutage",
     "CLUSTER_POLICY_NAMES",
     "evaluate_equal_policy_bin",
     "evaluate_consolidation_bin",

@@ -40,6 +40,38 @@ from repro.workloads.traces import ClusterPowerTrace, peak_shaving_caps
 
 
 @dataclass(frozen=True)
+class NodeOutage:
+    """One server's failure interval over the demand trace.
+
+    Steps are indices into the trace (half-open: the server is down for
+    ``start_step <= t < end_step``). A failed server powers off entirely -
+    its applications produce nothing and it draws nothing - and its share
+    of the cluster cap is redistributed to the surviving loaded servers
+    until the step it recovers.
+
+    Attributes:
+        server: Index of the failed server (0-based home-server index).
+        start_step: First trace step of the outage.
+        end_step: First trace step after recovery.
+    """
+
+    server: int
+    start_step: int
+    end_step: int
+
+    def __post_init__(self) -> None:
+        if self.server < 0:
+            raise ConfigurationError("outage server index must be non-negative")
+        if self.start_step < 0:
+            raise ConfigurationError("outage start_step must be non-negative")
+        if self.end_step <= self.start_step:
+            raise ConfigurationError("outage end_step must exceed start_step")
+
+    def down_at(self, step: int) -> bool:
+        return self.start_step <= step < self.end_step
+
+
+@dataclass(frozen=True)
 class ClusterPolicyResult:
     """Trace-aggregate outcome for one strategy at one shaving level.
 
@@ -58,6 +90,9 @@ class ClusterPolicyResult:
             quantization, capping strategies do not. The paper's +4%/+12%
             efficiency claims compare these values.
         migrations: Total placement changes (consolidation only).
+        lost_node_steps: Sum over trace steps of the number of failed
+            servers (node-steps of lost capacity under the run's
+            :class:`NodeOutage` schedule; 0 in a fault-free run).
     """
 
     policy: str
@@ -67,6 +102,7 @@ class ClusterPolicyResult:
     power_efficiency: float
     budget_efficiency: float
     migrations: int = 0
+    lost_node_steps: int = 0
 
 
 @dataclass(frozen=True)
@@ -176,6 +212,7 @@ class ClusterSimulator:
         warmup_s: float = 15.0,
         dt_s: float = 0.1,
         seed: int = 0,
+        outages: tuple[NodeOutage, ...] = (),
     ) -> ClusterExperiment:
         """Evaluate every strategy at every shaving level.
 
@@ -187,6 +224,11 @@ class ClusterSimulator:
             duration_s / warmup_s / dt_s: Per-bin steady-state simulation
                 parameters for the equal-split strategies.
             seed: Forwarded to the server simulations.
+            outages: Node-failure intervals. While a server is down the
+                equal-split strategies redistribute its cap share over the
+                survivors (``(ceiling - idle) / n_alive`` per server) and
+                restore the even split at recovery; consolidation replans
+                against the shrunken fleet.
         """
         peak_w = self.uncapped_cluster_power_w()
         if trace is None:
@@ -204,6 +246,7 @@ class ClusterSimulator:
                 warmup_s=warmup_s,
                 dt_s=dt_s,
                 seed=seed,
+                outages=outages,
             )
         return ClusterExperiment(results=results, cap_traces=cap_traces)
 
@@ -226,10 +269,21 @@ class ClusterSimulator:
         warmup_s: float,
         dt_s: float,
         seed: int,
+        outages: tuple[NodeOutage, ...] = (),
     ) -> dict[str, ClusterPolicyResult]:
         step_s = demand.step_s
         ceiling_w = (1.0 - shave) * demand.peak_w
         loads = [self.offered_load(d) for d in demand.demand_w]
+        # Which servers are down at each trace step (indices past the fleet
+        # are ignored rather than rejected: outage schedules can be shared
+        # across cluster sizes).
+        failed_sets = [
+            frozenset(
+                o.server for o in outages if o.down_at(t) and o.server < self.n_servers
+            )
+            for t in range(len(loads))
+        ]
+        lost_node_steps = sum(len(f) for f in failed_sets)
         # Uncapped draw for each offered load (model-exact, so the
         # normalization and the caps agree with the policies' physics).
         uncapped_draw = {
@@ -240,6 +294,8 @@ class ClusterSimulator:
         # Peak shaving binds only when the load's draw would exceed the
         # ceiling; off-peak the cluster runs uncapped (the Fig. 12a cap
         # series equals demand there merely because capping is inactive).
+        # Normalization is always against the *fault-free* uncapped cluster,
+        # so node outages show up as lost performance, not a moved baseline.
         binding = [uncapped_draw[k] > ceiling_w + 1e-9 for k in loads]
         uncapped_perf_time = sum(2.0 * k for k in loads) * step_s
         uncapped_power_time = sum(uncapped_draw[k] for k in loads) * step_s
@@ -254,39 +310,52 @@ class ClusterSimulator:
         for policy in ("equal-rapl", "equal-ours"):
             perf_time = 0.0
             power_time = 0.0
-            bin_cache: dict[int, tuple[float, float]] = {}
-            for k, binds in zip(loads, binding):
-                if k == 0:
-                    power_time += uncapped_draw[0] * step_s
+            bin_cache: dict[tuple[int, frozenset[int]], tuple[float, float]] = {}
+            for k, failed in zip(loads, failed_sets):
+                alive_loaded = [i for i in range(k) if i not in failed]
+                alive_unloaded = (self.n_servers - k) - sum(
+                    1 for f in failed if f >= k
+                )
+                idle_w = alive_unloaded * self._unloaded_w
+                draw = (
+                    sum(self.loaded_server_power_w(i) for i in alive_loaded) + idle_w
+                )
+                if not alive_loaded:
+                    power_time += idle_w * step_s
                     continue
-                if not binds:
-                    perf_time += 2.0 * k * step_s
-                    power_time += uncapped_draw[k] * step_s
+                if draw <= ceiling_w + 1e-9:
+                    # Cap non-binding on the (possibly degraded) fleet: the
+                    # surviving loaded servers run uncapped.
+                    perf_time += 2.0 * len(alive_loaded) * step_s
+                    power_time += draw * step_s
                     continue
-                if k not in bin_cache:
-                    idle_w = (self.n_servers - k) * self._unloaded_w
+                key = (k, failed)
+                if key not in bin_cache:
+                    # The failed servers' cap share is redistributed: the
+                    # whole ceiling (minus standby idle) splits evenly over
+                    # the survivors, and reverts when the node returns.
                     per_server = self._quantize_per_server(
-                        max(0.0, ceiling_w - idle_w) / k
+                        max(0.0, ceiling_w - idle_w) / len(alive_loaded)
                     )
                     evaluation = evaluate_equal_policy_bin(
                         policy,
-                        self._mixes[:k],
+                        [self._mixes[i] for i in alive_loaded],
                         per_server,
                         config=self._config,
                         cache=self._equal_cache,
                         loaded_powers_w=[
-                            self.loaded_server_power_w(i) for i in range(k)
+                            self.loaded_server_power_w(i) for i in alive_loaded
                         ],
                         duration_s=duration_s,
                         warmup_s=warmup_s,
                         dt_s=dt_s,
                         seed=seed,
                     )
-                    bin_cache[k] = (
+                    bin_cache[key] = (
                         evaluation.aggregate_perf,
                         evaluation.cluster_power_w + idle_w,
                     )
-                perf, power = bin_cache[k]
+                perf, power = bin_cache[key]
                 perf_time += perf * step_s
                 power_time += power * step_s
             out[policy] = ClusterPolicyResult(
@@ -301,6 +370,7 @@ class ClusterSimulator:
                     perf_time / uncapped_perf_time,
                     available_power_time / uncapped_power_time,
                 ),
+                lost_node_steps=lost_node_steps,
             )
 
         walker = ConsolidationWalker(self._planner, self.n_servers)
@@ -308,9 +378,14 @@ class ClusterSimulator:
         power_time = 0.0
         rated_cluster_w = self._config.uncapped_power_w * self.n_servers
         apps_cache = {k: self.apps_for_load(k) for k in set(loads)}
-        for k, binds in zip(loads, binding):
+        for k, binds, failed in zip(loads, binding, failed_sets):
             cap_w = ceiling_w if binds else rated_cluster_w
-            perf, power = walker.step(apps_cache[k], cap_w, step_s)
+            perf, power = walker.step(
+                apps_cache[k],
+                cap_w,
+                step_s,
+                n_available=self.n_servers - len(failed),
+            )
             perf_time += perf * step_s
             power_time += power * step_s
         migrations = walker.total_migrations
@@ -327,6 +402,7 @@ class ClusterSimulator:
                 available_power_time / uncapped_power_time,
             ),
             migrations=migrations,
+            lost_node_steps=lost_node_steps,
         )
         assert set(out) == set(CLUSTER_POLICY_NAMES)
         return out

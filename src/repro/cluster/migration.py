@@ -261,15 +261,35 @@ class ConsolidationWalker:
         self.total_migrations = 0
 
     def step(
-        self, apps: list[WorkloadProfile], cap_w: float, step_s: float
+        self,
+        apps: list[WorkloadProfile],
+        cap_w: float,
+        step_s: float,
+        *,
+        n_available: int | None = None,
     ) -> tuple[float, float]:
         """Advance one trace step; returns ``(aggregate_perf, power_w)``.
 
         ``aggregate_perf`` is the time-average over the step, including
         migration/boot/shedding losses.
+
+        Args:
+            apps: Applications offered this step.
+            cap_w: Cluster cap in force.
+            step_s: Step duration.
+            n_available: Servers currently healthy (node failures shrink
+                the fleet). A failure is felt immediately - servers beyond
+                the healthy count shed their placement and those apps stall
+                - but re-placing the stalled work waits for the replan
+                hysteresis, the same operational cost migrations pay.
         """
         if step_s <= 0:
             raise ConfigurationError("step_s must be positive")
+        avail = (
+            self._n_servers
+            if n_available is None
+            else max(0, min(n_available, self._n_servers))
+        )
         self._since_replan_s += step_s
         offered = {p.name for p in apps}
         rated = self._planner._config.uncapped_power_w  # noqa: SLF001
@@ -277,7 +297,7 @@ class ConsolidationWalker:
         replan_due = self._plan is None or self._since_replan_s >= self._replan_interval_s
         if replan_due:
             cold_start = self._plan is None
-            new_plan = self._planner.plan(apps, cap_w, n_servers=self._n_servers)
+            new_plan = self._planner.plan(apps, cap_w, n_servers=avail)
             migrations = self._planner.migrations_between(self._plan, new_plan)
             self.total_migrations += migrations
             # Booting applies only when an established fleet grows; at cold
@@ -309,6 +329,8 @@ class ConsolidationWalker:
         servers = list(self._plan.servers)
         while servers and len(servers) * rated > cap_w + 1e-9:
             servers.pop()  # power down, apps stall until the next replan
+        while len(servers) > avail:
+            servers.pop()  # node failure: its placement stalls until replan
         perf = sum(
             sum(v for name, v in s.relative_perf.items() if name in offered)
             for s in servers

@@ -26,7 +26,9 @@ from repro.core.events import (
     CapChangeEvent,
     DepartureEvent,
     Event,
+    FaultEvent,
     PhaseChangeEvent,
+    RecoveryEvent,
 )
 from repro.server.server import SimulatedServer, TickResult
 from repro.workloads.profiles import WorkloadProfile
@@ -95,15 +97,43 @@ class Accountant:
         self._deviation_counts.clear()
         self._suppressed.clear()
 
+    def notify_fault(
+        self, kind: str, target: str | None = None, detail: str = ""
+    ) -> FaultEvent:
+        """F message: a substrate fault was injected or detected."""
+        event = FaultEvent(
+            time_s=self._server.now_s, kind=kind, target=target, detail=detail
+        )
+        self._log.append(event)
+        return event
+
+    def notify_recovery(
+        self, kind: str, target: str | None = None, detail: str = ""
+    ) -> RecoveryEvent:
+        """R message: a previously raised fault cleared."""
+        event = RecoveryEvent(
+            time_s=self._server.now_s, kind=kind, target=target, detail=detail
+        )
+        self._log.append(event)
+        return event
+
     # -------------------------------------------------------------- polling
 
-    def poll(self, result: TickResult) -> list[Event]:
+    def poll(self, result: TickResult, *, telemetry_fresh: bool = True) -> list[Event]:
         """Inspect one tick; returns any E3/E4 events raised.
 
         E3: applications whose completion this tick reported.
         E4: applications whose measured draw deviated from their allocated
         budget for ``deviation_polls`` consecutive polls (SPACE mode only -
         see the module docstring).
+
+        Args:
+            result: The tick to inspect.
+            telemetry_fresh: Whether this tick's power samples reflect the
+                current tick. E4 detection is suppressed on stale samples -
+                a frozen reading that happens to deviate says nothing about
+                the application's behaviour, and re-calibrating from it
+                would poison the utility estimates.
         """
         events: list[Event] = []
         for name in result.completed:
@@ -111,7 +141,8 @@ class Accountant:
             self._log.append(event)
             events.append(event)
         if (
-            self._plan is not None
+            telemetry_fresh
+            and self._plan is not None
             and self._plan.mode is CoordinationMode.SPACE
             and self._plan.allocation is not None
         ):

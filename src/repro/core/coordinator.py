@@ -173,6 +173,61 @@ class Coordinator:
         # IDLE: stay suspended; deep-sleep to fit under a sub-P_cm cap.
         return CoordinatorAction(deep_sleep=True)
 
+    # ------------------------------------------------------------- emergency
+
+    def emergency_throttle(self, cap_w: float) -> tuple[list[str], list[str]]:
+        """Force the server under ``cap_w`` within one tick (breach response).
+
+        Every running application is dropped to the floor knob; the floors
+        themselves are budget-checked against the cap's dynamic headroom
+        (under a stringent cap even two floored apps can exceed it, so the
+        ones that do not fit are suspended - cheapest floors kept first to
+        preserve the most progress). A floor write that fails verification
+        (the breach may *be* an actuation fault) escalates straight to
+        suspension: ``SIGSTOP`` bypasses the RAPL path, so the power comes
+        down regardless of actuator health.
+
+        The adopted plan is left in place - the mediator re-plans once the
+        breach clears; this method only guarantees the next tick's wall
+        power is defensible.
+
+        Returns:
+            ``(floored, suspended)`` application name lists.
+        """
+        cfg = self._server.config
+        floor = cfg.min_knob
+        budget_w = cfg.dynamic_budget_w(cap_w)
+        running = [
+            name
+            for name in self._managed_apps()
+            if not self._server.knobs.is_suspended(name)
+        ]
+        costed = sorted(
+            (
+                (
+                    self._server.power_model.app_power_w(
+                        self._server.handle_of(name).profile, floor
+                    ),
+                    name,
+                )
+                for name in running
+            ),
+        )
+        floored: list[str] = []
+        suspended: list[str] = []
+        spent_w = 0.0
+        for cost_w, name in costed:
+            if spent_w + cost_w <= budget_w + 1e-9 and self._server.knobs.set_knob(
+                name, floor
+            ):
+                spent_w += cost_w
+                floored.append(name)
+            else:
+                self._server.knobs.clear_failed_write(name)
+                self._server.suspend(name)
+                suspended.append(name)
+        return floored, suspended
+
     # ------------------------------------------------------------ internals
 
     def _managed_apps(self) -> list[str]:
@@ -189,17 +244,53 @@ class Coordinator:
             if knob is None:
                 self._server.suspend(name)
             else:
-                self._server.knobs.set_knob(name, knob)
-                self._server.resume(name)
+                budget = None
+                if plan.allocation is not None and name in plan.allocation.apps:
+                    budget = plan.allocation.apps[name].power_w
+                self._actuate_verified(name, knob, budget)
 
     def _actuate_slot(self, slot: TimeSlot) -> None:
         running = set(slot.apps)
+        budget = self._server.config.dynamic_budget_w(
+            self._plan.p_cap_w if self._plan is not None else 0.0
+        )
         for name in self._managed_apps():
             if name in running:
-                self._server.knobs.set_knob(name, slot.knobs[name])
-                self._server.resume(name)
+                self._actuate_verified(name, slot.knobs[name], budget)
             else:
                 self._server.suspend(name)
+
+    def _actuate_verified(
+        self, name: str, knob: KnobSetting, budget_w: float | None
+    ) -> bool:
+        """Write a knob and resume the app only when the result is affordable.
+
+        A verified write always resumes. When the write fails verification
+        (actuation fault), the app is resumed only if the setting it *reads
+        back at* draws no more than its budget (or than the planned knob,
+        when no explicit budget applies) - otherwise it stays suspended and
+        the retry machinery re-drives the write. This is what prevents a
+        stuck-hot actuator from dragging the wall over the cap every time a
+        plan is adopted.
+        """
+        verified = self._server.knobs.set_knob(name, knob)
+        if verified:
+            self._server.resume(name)
+            return True
+        profile = self._server.handle_of(name).profile
+        observed_cost = self._server.power_model.app_power_w(
+            profile, self._server.knobs.readback(name)
+        )
+        limit = (
+            budget_w
+            if budget_w is not None
+            else self._server.power_model.app_power_w(profile, knob)
+        )
+        if observed_cost <= limit + 1e-9:
+            self._server.resume(name)
+        else:
+            self._server.suspend(name)
+        return False
 
     def _suspend_all(self) -> None:
         for name in self._managed_apps():
@@ -239,8 +330,9 @@ class Coordinator:
                 for name in self._managed_apps():
                     knob = self._plan.knobs.get(name)
                     if knob is not None:
-                        self._server.knobs.set_knob(name, knob)
-                        self._server.resume(name)
+                        # The boost budget was sized from the planned knobs,
+                        # so only a verified-or-no-hotter setting may run.
+                        self._actuate_verified(name, knob, None)
                 self._esd_on = True
             discharge_w = self._esd.boost(dt_s, required_w=required_w)
             return CoordinatorAction(esd_discharge_w=discharge_w)

@@ -11,6 +11,17 @@ The system reacts to four event kinds:
 E1 and E2 arrive as explicit messages to the Accountant; E3 and E4 are
 detected by its polling loop. All events are immutable records so the
 mediator's timeline is audit-friendly.
+
+The fault-injection subsystem (:mod:`repro.faults`) adds two more kinds
+alongside E1-E4:
+
+* **F** (:class:`FaultEvent`) - a substrate fault was injected or detected
+  (dropped knob write, stale telemetry, battery outage, cap breach, ...);
+* **R** (:class:`RecoveryEvent`) - a previously raised fault was cleared
+  (actuation verified again, telemetry fresh again, battery back, ...).
+
+Pairing an R to its F by ``(kind, target)`` yields the repair interval the
+MTTR metric aggregates.
 """
 
 from __future__ import annotations
@@ -80,3 +91,37 @@ class PhaseChangeEvent(Event):
     app: str
     observed_power_w: float
     allocated_power_w: float
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """F: a substrate fault was injected or detected.
+
+    Attributes:
+        kind: Fault class, e.g. ``"rapl"``, ``"telemetry"``, ``"battery"``,
+            ``"app"``, or the detector-raised ``"cap-breach"`` /
+            ``"actuation"``.
+        target: Affected application/domain name, or ``None`` for
+            server-wide faults.
+        detail: Free-form diagnosis (mode, magnitude, observed values).
+    """
+
+    kind: str
+    target: str | None = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent(Event):
+    """R: a previously raised fault cleared.
+
+    Attributes:
+        kind: The fault class that recovered (matches the paired
+            :class:`FaultEvent`).
+        target: Affected application/domain name, or ``None``.
+        detail: Free-form diagnosis (how recovery was confirmed).
+    """
+
+    kind: str
+    target: str | None = None
+    detail: str = ""

@@ -18,6 +18,23 @@ Overheads are charged honestly: an arriving application spends the
 calibration/re-allocation latency (~800 ms on the paper's server) suspended
 while the rest of the system keeps running under the old plan, exactly as the
 paper's Fig. 11a timeline shows.
+
+Resilience (see :mod:`repro.core.resilience`): when constructed with a
+:class:`~repro.faults.plan.FaultPlan`, the mediator drives a
+:class:`~repro.faults.injector.FaultInjector` each tick and survives what it
+breaks. Wall power is *sensed* through the psys energy counter
+(wraparound-safe counter differencing, optionally filtered by telemetry
+faults) rather than read from the engine's breakdown; a
+:class:`~repro.core.resilience.TelemetryWatchdog` downgrades planning to a
+widened guard band when the sensor goes stale; an
+:class:`~repro.core.resilience.ActuationRetrier` re-drives unverified knob
+writes with exponential backoff; a detected cap breach triggers the
+coordinator's emergency floor-throttle within the same tick and only a
+breach persisting into the next tick raises
+:class:`~repro.errors.SimulationError`. Breach detection itself uses the
+engine's true wall power - the stand-in for the trusted out-of-band power
+monitor (CPLD/BMC) real servers carry precisely because in-band telemetry
+can lie.
 """
 
 from __future__ import annotations
@@ -26,19 +43,28 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.accountant import Accountant
 from repro.core.coordinator import AllocationPlan, CoordinationMode, Coordinator, TimeSlot
 from repro.core.events import DepartureEvent, Event, PhaseChangeEvent
-from repro.core.policies import Policy, PolicyContext
+from repro.core.policies import AppResAwarePolicy, Policy, PolicyContext
+from repro.core.resilience import (
+    ActuationRetrier,
+    FaultStats,
+    ResilienceConfig,
+    TelemetryWatchdog,
+)
 from repro.core.utility import CandidateSet
 from repro.esd.battery import LeadAcidBattery
 from repro.esd.controller import EsdController, compute_duty_cycle
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.learning.collaborative import CollaborativeEstimator
 from repro.learning.crossval import build_exhaustive_corpus
 from repro.learning.matrix import PreferenceMatrix
 from repro.learning.sampling import Sampler, StratifiedSampler
 from repro.server.config import KnobSetting
+from repro.server.rapl import energy_delta_j
 from repro.server.server import ApplicationHandle, SimulatedServer
 from repro.workloads.catalog import CATALOG
 from repro.workloads.generator import PhasedProfile
@@ -58,6 +84,13 @@ class TickRecord:
         app_knobs: Per-app knob settings (running apps only).
         progressed: Work completed this tick per app.
         battery_soc: Battery state of charge (``None`` without an ESD).
+        observed_wall_w: What the wall-power *sensor* reported this tick
+            (``None`` for a dropped sample); equals ``wall_w`` on a healthy
+            run.
+        degraded: Whether the telemetry watchdog had the mediator in
+            degraded mode during this tick.
+        breach: Whether true wall power exceeded the cap this tick (the
+            emergency throttle fired in response).
     """
 
     time_s: float
@@ -68,6 +101,9 @@ class TickRecord:
     app_knobs: dict[str, KnobSetting]
     progressed: dict[str, float]
     battery_soc: float | None
+    observed_wall_w: float | None = None
+    degraded: bool = False
+    breach: bool = False
 
 
 @dataclass
@@ -108,6 +144,10 @@ class PowerMediator:
             online calibration samples.
         dt_s: Tick length for :meth:`run_for`.
         seed: Seed for calibration noise.
+        faults: Optional fault plan; when given, a
+            :class:`~repro.faults.injector.FaultInjector` degrades the
+            substrate on schedule and the resilience layer earns its keep.
+        resilience: Degraded-mode tunables (defaults are sensible).
     """
 
     def __init__(
@@ -124,6 +164,8 @@ class PowerMediator:
         perf_noise_relative_std: float = 0.02,
         dt_s: float = 0.1,
         seed: int = 0,
+        faults: FaultPlan | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
@@ -158,6 +200,18 @@ class PowerMediator:
         self._timeline: list[TickRecord] = []
         self._calibration_pending_s = 0.0
 
+        self._resilience_cfg = resilience if resilience is not None else ResilienceConfig()
+        self._injector = (
+            FaultInjector(faults, server, battery=battery) if faults is not None else None
+        )
+        self._watchdog = TelemetryWatchdog(self._resilience_cfg)
+        self._retrier = ActuationRetrier(server.knobs, self._resilience_cfg)
+        self._fault_stats = FaultStats()
+        self._fallback_policy: Policy | None = None
+        self._actuation_faulted: set[str] = set()
+        self._breach_last_tick = False
+        self._last_psys_energy_j = server.rapl.read_energy_j("psys")
+
     # ------------------------------------------------------------ accessors
 
     @property
@@ -190,6 +244,20 @@ class PowerMediator:
     @property
     def battery(self) -> LeadAcidBattery | None:
         return self._battery
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Resilience counters for this run (live object)."""
+        return self._fault_stats
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self._injector
+
+    @property
+    def degraded_telemetry(self) -> bool:
+        """Whether the telemetry watchdog currently distrusts the sensor."""
+        return self._watchdog.degraded
 
     def managed_apps(self) -> list[str]:
         """Applications currently under management, sorted."""
@@ -274,6 +342,8 @@ class PowerMediator:
         self._managed.pop(app, None)
         self._estimates.pop(app, None)
         self._oracle.pop(app, None)
+        self._retrier.forget(app)
+        self._actuation_faulted.discard(app)
         if not completed:
             # Natural completions were already logged by the Accountant.
             self._accountant._log.append(  # noqa: SLF001 - mediator is the owner
@@ -286,18 +356,34 @@ class PowerMediator:
     # ----------------------------------------------------------- allocation
 
     def reallocate(self) -> AllocationPlan:
-        """Build a context, plan, and hand the plan to the Coordinator."""
+        """Build a context, plan, and hand the plan to the Coordinator.
+
+        Degraded modes bend this path in two ways. While the telemetry
+        watchdog distrusts the wall sensor, planning targets the *effective*
+        cap (true cap minus the degraded guard band) so estimation slack
+        cannot push the unobservable wall over the real limit. While the
+        battery is untrusted (outage window, or detached), an ESD-aware
+        policy is replaced by the App+Res-Aware fallback - consolidated
+        duty cycling (R4) needs a battery it can bank on, so the plan
+        degrades to spatial/temporal coordination (R3a/R3b) until the ESD
+        recovers.
+        """
         if not self._managed:
             raise SchedulingError("no applications to allocate power to")
+        policy = self._policy
+        battery = self._battery
+        if policy.uses_esd and not self._battery_trusted():
+            policy = self._get_fallback_policy()
+            battery = None
         ctx = PolicyContext(
             config=self._server.config,
-            p_cap_w=self.p_cap_w,
+            p_cap_w=self._effective_cap_w(),
             oracle=dict(self._oracle),
             estimates=dict(self._estimates),
             population=self._get_population(),
-            battery=self._battery,
+            battery=battery,
         )
-        plan = self._guard_plan(self._policy.plan(ctx))
+        plan = self._guard_plan(policy.plan(ctx))
         esd_controller = None
         if plan.mode is CoordinationMode.ESD:
             assert self._battery is not None and plan.duty_cycle is not None
@@ -305,6 +391,26 @@ class PowerMediator:
         self._coordinator.adopt(plan, esd_controller=esd_controller)
         self._accountant.adopt_plan(plan)
         return plan
+
+    def _battery_trusted(self) -> bool:
+        """Whether R4 consolidated duty cycling may rely on the ESD now."""
+        if self._battery is None or not self._battery.available:
+            return False
+        if self._injector is not None and "battery" in self._injector.active_kinds():
+            return False
+        return True
+
+    def _effective_cap_w(self) -> float:
+        """The cap planning targets: reduced while telemetry is degraded."""
+        cap = self.p_cap_w
+        if self._watchdog.degraded:
+            cap *= 1.0 - self._resilience_cfg.degraded_guard_band
+        return cap
+
+    def _get_fallback_policy(self) -> Policy:
+        if self._fallback_policy is None:
+            self._fallback_policy = AppResAwarePolicy()
+        return self._fallback_policy
 
     def _guard_plan(self, plan: AllocationPlan) -> AllocationPlan:
         """Per-application RAPL guard: enforce each app's allocated budget
@@ -423,10 +529,13 @@ class PowerMediator:
 
     def _one_tick(self) -> None:
         dt = self._dt_s
+        if self._injector is not None:
+            self._apply_faults()
         # Calibration latency: the newest arrival stays suspended while the
         # measurement/optimization pipeline settles.
         if self._calibration_pending_s > 0:
             self._calibration_pending_s = max(0.0, self._calibration_pending_s - dt)
+        self._service_actuation()
         action = self._coordinator.step(dt)
         result = self._server.tick(
             dt,
@@ -434,7 +543,9 @@ class PowerMediator:
             esd_discharge_w=action.esd_discharge_w,
             deep_sleep=action.deep_sleep,
         )
-        self._server.assert_within_cap(self.p_cap_w, tolerance_w=1e-6)
+        observed_w, fresh = self._sample_wall_power(dt)
+        self._watch_telemetry(fresh)
+        breach = self._police_cap(result)
         plan = self._coordinator.plan
         self._timeline.append(
             TickRecord(
@@ -449,11 +560,157 @@ class PowerMediator:
                 },
                 progressed=dict(result.progressed),
                 battery_soc=self._battery.soc if self._battery is not None else None,
+                observed_wall_w=observed_w,
+                degraded=self._watchdog.degraded,
+                breach=breach,
             )
         )
         self._check_phase_boundaries()
-        for event in self._accountant.poll(result):
+        for event in self._accountant.poll(result, telemetry_fresh=fresh):
             self._handle_event(event)
+
+    # ------------------------------------------------------------- resilience
+
+    def _apply_faults(self) -> None:
+        """Advance the fault injector and journal its window transitions."""
+        assert self._injector is not None
+        now = self._server.now_s
+        crashed, transitions = self._injector.begin_tick(now)
+        battery_changed = False
+        rapl_recovered = False
+        for tr in transitions:
+            kind, mode = tr.spec.kind, tr.spec.mode
+            if tr.entered:
+                self._accountant.notify_fault(kind, tr.target, detail=mode)
+                if not tr.spec.instantaneous:
+                    self._fault_stats.open_episode(kind, tr.target, now)
+            else:
+                self._accountant.notify_recovery(kind, tr.target, detail=mode)
+                self._fault_stats.close_episode(kind, tr.target, now)
+                if kind == "rapl":
+                    rapl_recovered = True
+            if kind == "battery":
+                battery_changed = True
+        for app in crashed:
+            self._fault_stats.crashes += 1
+            if app in self._managed:
+                self.remove_application(app, completed=False)
+        if battery_changed and self._managed and self._policy.uses_esd:
+            # Degrade R4 to the fallback (or restore it) right away.
+            self.reallocate()
+        elif rapl_recovered and self._managed:
+            # Apps defensively suspended (or escalated) while the actuator
+            # was faulted stay parked until a plan re-actuates them; do it
+            # now that writes verify again.
+            self.reallocate()
+
+    def _service_actuation(self) -> None:
+        """Run the retry loop and journal actuation fault episodes."""
+        now = self._server.now_s
+        for app in self._server.knobs.failed_writes():
+            if app not in self._actuation_faulted:
+                self._actuation_faulted.add(app)
+                self._accountant.notify_fault(
+                    "actuation", app, detail="knob write failed readback verification"
+                )
+                self._fault_stats.open_episode("actuation", app, now)
+        verified, escalated = self._retrier.service(self._fault_stats)
+        for app in escalated:
+            self._actuation_faulted.discard(app)
+            self._accountant.notify_recovery(
+                "actuation", app, detail="suspended after exhausting retries"
+            )
+            self._fault_stats.close_episode("actuation", app, now)
+        still_failed = set(self._server.knobs.failed_writes())
+        for app in sorted(self._actuation_faulted - still_failed):
+            self._actuation_faulted.discard(app)
+            self._accountant.notify_recovery(
+                "actuation", app, detail="knob write verified"
+            )
+            self._fault_stats.close_episode("actuation", app, now)
+        # A retry that verified may have left the app defensively suspended
+        # by the coordinator; re-adopting the plan resumes it properly.
+        if verified and self._managed and any(
+            app in self._managed and self._server.knobs.is_suspended(app)
+            for app in verified
+        ):
+            self.reallocate()
+
+    def _sample_wall_power(self, dt_s: float) -> tuple[float | None, bool]:
+        """Read the wall-power sensor: psys counter delta over the tick.
+
+        Counter differencing is wraparound-safe (the 32-bit ``energy_uj``
+        register wraps every ~54 s at the paper's 80 W cap). The true sample
+        then passes through any active telemetry fault.
+        """
+        energy = self._server.rapl.read_energy_j("psys")
+        true_sample = energy_delta_j(energy, self._last_psys_energy_j) / dt_s
+        self._last_psys_energy_j = energy
+        if self._injector is None:
+            return true_sample, True
+        value, fresh = self._injector.filter_wall_sample(true_sample)
+        if value is None:
+            self._fault_stats.dropped_samples += 1
+        elif not fresh:
+            self._fault_stats.stale_samples += 1
+        return value, fresh
+
+    def _watch_telemetry(self, fresh: bool) -> None:
+        """Feed the watchdog; re-plan on degraded/recovered transitions."""
+        transition = self._watchdog.observe(fresh)
+        now = self._server.now_s
+        if transition == "degraded":
+            self._accountant.notify_fault(
+                "telemetry-watchdog",
+                detail="consecutive missing/stale wall samples; guard band widened",
+            )
+            self._fault_stats.open_episode("telemetry-watchdog", None, now)
+            if self._managed:
+                self.reallocate()  # adopt the reduced effective cap
+        elif transition == "recovered":
+            self._accountant.notify_recovery(
+                "telemetry-watchdog", detail="fresh wall samples resumed"
+            )
+            self._fault_stats.close_episode("telemetry-watchdog", None, now)
+            if self._managed:
+                self.reallocate()  # restore the full cap
+        if self._watchdog.degraded:
+            self._fault_stats.degraded_ticks += 1
+
+    def _police_cap(self, result) -> bool:
+        """Detect a cap breach and respond within the same tick.
+
+        Detection uses the engine's true wall power - the stand-in for a
+        trusted out-of-band monitor, deliberately immune to telemetry
+        faults. A first breach fires the coordinator's emergency floor
+        throttle; a breach that *persists* into the next tick means the
+        emergency path failed and the run is genuinely broken.
+        """
+        wall_w = result.breakdown.wall_w
+        breach = wall_w > self.p_cap_w + 1e-6
+        if breach:
+            self._fault_stats.breach_ticks += 1
+            self._fault_stats.open_episode("cap-breach", None, self._server.now_s)
+            self._accountant.notify_fault(
+                "cap-breach",
+                detail=f"wall {wall_w:.3f} W over cap {self.p_cap_w:.3f} W",
+            )
+            if self._breach_last_tick:
+                raise SimulationError(
+                    f"wall power {wall_w:.3f} W still exceeds the cap "
+                    f"{self.p_cap_w:.3f} W one tick after emergency throttling"
+                )
+            self._coordinator.emergency_throttle(self.p_cap_w)
+            self._fault_stats.emergency_throttles += 1
+        elif self._breach_last_tick:
+            self._fault_stats.close_episode("cap-breach", None, self._server.now_s)
+            self._accountant.notify_recovery(
+                "cap-breach", detail="wall back under cap after emergency throttle"
+            )
+            if self._managed:
+                self.reallocate()  # leave the emergency floors behind
+        self._breach_last_tick = breach
+        return breach
 
     def _handle_event(self, event: Event) -> None:
         if isinstance(event, DepartureEvent):
@@ -536,6 +793,10 @@ class PowerMediator:
                     0.0,
                     perf * (1.0 + float(self._rng.normal(0.0, self._perf_noise_relative_std))),
                 )
+            if self._watchdog.degraded:
+                # Calibrating on an untrusted sensor: err toward
+                # over-estimating draw so allocations stay defensible.
+                power *= self._resilience_cfg.conservative_inflation
             samples[knob] = (power, perf)
         estimate = estimator.estimate(self._corpus, samples)
         estimated = CandidateSet.from_estimates(

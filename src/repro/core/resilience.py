@@ -1,0 +1,263 @@
+"""Degraded-mode machinery: how the mediator survives a hostile substrate.
+
+Three cooperating pieces, all owned by :class:`~repro.core.mediator.PowerMediator`:
+
+* :class:`TelemetryWatchdog` - classifies each tick's wall-power sample as
+  fresh or not. After ``stale_threshold`` consecutive non-fresh samples the
+  mediator enters *degraded telemetry* mode: it plans against a reduced
+  effective cap (guard band widened by ``degraded_guard_band``), substitutes
+  the power model's predicted wall power for the missing observation, and
+  treats calibration samples conservatively. Recovery requires
+  ``recovery_threshold`` consecutive fresh samples (hysteresis, so a single
+  good sample mid-blackout does not flap the mode).
+
+* :class:`ActuationRetrier` - drains the knob controller's failed-writes
+  registry with exponential backoff (retry after 1, 2, 4, ... ticks). After
+  ``max_attempts`` failed verifications of the same write it escalates: the
+  app is suspended (``SIGSTOP`` bypasses the RAPL actuation path entirely),
+  which bounds the damage a stuck actuator can do to the cap.
+
+* :class:`FaultStats` - the run's resilience ledger: breach ticks, retries,
+  degraded-mode ticks, emergency throttles, and open fault episodes paired
+  into MTTR intervals (see :mod:`repro.core.events`).
+
+The mediator's breach policy lives with these: a detected cap breach
+triggers :meth:`~repro.core.coordinator.Coordinator.emergency_throttle`
+within the same tick, and only a breach that *persists* on the following
+tick raises :class:`~repro.errors.SimulationError` - one transient tick of
+overshoot under a fault is survivable; two in a row means the emergency
+path itself failed, which is a bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.server.config import KnobSetting
+from repro.server.knobs import KnobController
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Tunables of the degraded-mode machinery.
+
+    Attributes:
+        stale_threshold: Consecutive non-fresh wall samples before entering
+            degraded telemetry mode (the paper's 0.5 s ticks make 3 ticks a
+            1.5 s detection latency - comparable to one reallocation).
+        recovery_threshold: Consecutive fresh samples required to leave it.
+        degraded_guard_band: Extra fractional guard band applied to the cap
+            while degraded (on top of the RAPL guard band).
+        conservative_inflation: Factor applied to sampled per-app powers
+            while degraded, so calibration errs toward over-estimating
+            draw.
+        max_actuation_attempts: Verified-write attempts per app before the
+            retrier escalates to suspension.
+    """
+
+    stale_threshold: int = 3
+    recovery_threshold: int = 2
+    degraded_guard_band: float = 0.10
+    conservative_inflation: float = 1.15
+    max_actuation_attempts: int = 4
+
+
+@dataclass
+class FaultEpisode:
+    """One open or closed fault interval, for MTTR accounting.
+
+    Attributes:
+        kind: Fault class (matches the event kinds).
+        target: Affected app/domain, or ``None``.
+        start_s: When the fault was raised.
+        end_s: When it recovered, or ``None`` while open.
+    """
+
+    kind: str
+    target: str | None
+    start_s: float
+    end_s: float | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.end_s is None
+
+    @property
+    def duration_s(self) -> float | None:
+        """Repair time, or ``None`` while the episode is open."""
+        return None if self.end_s is None else self.end_s - self.start_s
+
+
+@dataclass
+class FaultStats:
+    """Resilience counters for one mediated run.
+
+    Attributes:
+        breach_ticks: Ticks whose true wall power exceeded cap + tolerance.
+        emergency_throttles: Times the emergency floor-throttle path fired.
+        actuation_retries: Knob-write retries performed.
+        actuation_escalations: Retry sequences that ended in suspension.
+        degraded_ticks: Ticks spent in degraded telemetry mode.
+        dropped_samples: Wall-power samples that never arrived.
+        stale_samples: Samples that arrived but were not fresh.
+        crashes: Unexpected application exits (forced E3).
+        episodes: Fault episodes for MTTR (closed ones have ``end_s``).
+    """
+
+    breach_ticks: int = 0
+    emergency_throttles: int = 0
+    actuation_retries: int = 0
+    actuation_escalations: int = 0
+    degraded_ticks: int = 0
+    dropped_samples: int = 0
+    stale_samples: int = 0
+    crashes: int = 0
+    episodes: list[FaultEpisode] = field(default_factory=list)
+
+    def open_episode(self, kind: str, target: str | None, now_s: float) -> None:
+        """Record a fault being raised (idempotent per open (kind, target))."""
+        for ep in self.episodes:
+            if ep.open and ep.kind == kind and ep.target == target:
+                return
+        self.episodes.append(FaultEpisode(kind=kind, target=target, start_s=now_s))
+
+    def close_episode(self, kind: str, target: str | None, now_s: float) -> None:
+        """Record recovery of the matching open episode (no-op when absent)."""
+        for ep in self.episodes:
+            if ep.open and ep.kind == kind and ep.target == target:
+                ep.end_s = now_s
+                return
+
+    def mttr_s(self) -> float | None:
+        """Mean time to repair over closed episodes (``None`` when none)."""
+        closed = [ep.duration_s for ep in self.episodes if not ep.open]
+        if not closed:
+            return None
+        return sum(closed) / len(closed)
+
+
+class TelemetryWatchdog:
+    """Freshness tracker for the mediator's wall-power sensor.
+
+    Feed one sample classification per tick with :meth:`observe`; read the
+    current trust state from :attr:`degraded`. Transitions are reported so
+    the mediator can journal F/R events exactly once.
+    """
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self._config = config
+        self._consecutive_bad = 0
+        self._consecutive_good = 0
+        self._degraded = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the wall-power feed is currently untrusted."""
+        return self._degraded
+
+    def observe(self, fresh: bool) -> str | None:
+        """Classify one tick's sample.
+
+        Args:
+            fresh: Whether the sample reflects the current tick.
+
+        Returns:
+            ``"degraded"`` on the healthy->degraded transition,
+            ``"recovered"`` on the way back, else ``None``.
+        """
+        if fresh:
+            self._consecutive_good += 1
+            self._consecutive_bad = 0
+            if self._degraded and self._consecutive_good >= self._config.recovery_threshold:
+                self._degraded = False
+                return "recovered"
+            return None
+        self._consecutive_bad += 1
+        self._consecutive_good = 0
+        if not self._degraded and self._consecutive_bad >= self._config.stale_threshold:
+            self._degraded = True
+            return "degraded"
+        return None
+
+
+@dataclass
+class _RetryState:
+    desired: KnobSetting
+    attempts: int
+    next_retry_tick: int
+
+
+class ActuationRetrier:
+    """Exponential-backoff retry of failed knob writes, with escalation.
+
+    The knob controller verifies every write by readback and parks failures
+    in its registry; the mediator calls :meth:`service` once per tick. Each
+    failed write is retried after 1, 2, 4, ... ticks; after
+    ``max_actuation_attempts`` total attempts the app is suspended -
+    signals bypass the faulted RAPL path, so suspension always sticks and
+    the cap stays defensible.
+    """
+
+    def __init__(self, knobs: KnobController, config: ResilienceConfig) -> None:
+        self._knobs = knobs
+        self._config = config
+        self._pending: dict[str, _RetryState] = {}
+        self._tick = 0
+
+    @property
+    def pending(self) -> dict[str, KnobSetting]:
+        """Writes still being retried, by app."""
+        return {app: st.desired for app, st in self._pending.items()}
+
+    def service(self, stats: FaultStats) -> tuple[list[str], list[str]]:
+        """Run one tick of the retry loop.
+
+        Returns:
+            ``(verified, escalated)``: apps whose desired knob verified on a
+            retry *this tick* (the caller may want to re-adopt the plan so
+            they resume), and apps suspended after exhausting retries.
+            Writes that cleared out-of-band (a later write verified, or the
+            app departed) are dropped from the pending set silently - the
+            caller tracks those through the failed-writes registry itself.
+        """
+        self._tick += 1
+        failed_now = self._knobs.failed_writes()
+
+        # Adopt newly failed writes (first retry next tick: backoff 2^0).
+        for app, desired in failed_now.items():
+            state = self._pending.get(app)
+            if state is None or state.desired != desired:
+                self._pending[app] = _RetryState(
+                    desired=desired, attempts=1, next_retry_tick=self._tick + 1
+                )
+
+        verified: list[str] = []
+        escalated: list[str] = []
+        for app in list(self._pending):
+            state = self._pending[app]
+            if app not in failed_now:
+                # Cleared out-of-band: stop tracking.
+                del self._pending[app]
+                continue
+            if self._tick < state.next_retry_tick:
+                continue
+            stats.actuation_retries += 1
+            if self._knobs.set_knob(app, state.desired):
+                verified.append(app)
+                del self._pending[app]
+                continue
+            state.attempts += 1
+            if state.attempts >= self._config.max_actuation_attempts:
+                # Give up on RAPL: signals always work.
+                self._knobs.suspend(app)
+                self._knobs.clear_failed_write(app)
+                stats.actuation_escalations += 1
+                escalated.append(app)
+                del self._pending[app]
+            else:
+                state.next_retry_tick = self._tick + 2 ** (state.attempts - 1)
+        return verified, escalated
+
+    def forget(self, app: str) -> None:
+        """Stop retrying for ``app`` (on departure)."""
+        self._pending.pop(app, None)

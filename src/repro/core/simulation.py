@@ -4,21 +4,66 @@ These wrap the mediator into the exact protocol of Section IV: admit a
 Table II mix onto a freshly booted server, run under a fixed cap, and report
 each application's throughput normalized to uncapped execution, plus the
 power split the allocator settled on.
+
+Both drivers accept a :class:`~repro.faults.plan.FaultPlan` and close with
+:func:`verify_cap_invariant`: every timeline tick must either respect the
+cap or be explicitly flagged as a breach the resilience layer responded to
+(and those flags must agree with the breach counter) - a silent overshoot in
+the timeline is a driver bug, not data.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, SchedulingError
+from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.mediator import PowerMediator
 from repro.core.policies import Policy, make_policy
+from repro.core.resilience import FaultStats, ResilienceConfig
 from repro.esd.battery import LeadAcidBattery
+from repro.faults.plan import FaultPlan
 from repro.server.config import ServerConfig, DEFAULT_SERVER_CONFIG
 from repro.server.server import SimulatedServer
 from repro.workloads.generator import ArrivalSchedule
 from repro.workloads.mixes import Mix
 from repro.workloads.profiles import WorkloadProfile
+
+
+def verify_cap_invariant(
+    mediator: PowerMediator, *, tolerance_w: float = 1e-6
+) -> int:
+    """Post-run audit of the cap invariant over the recorded timeline.
+
+    Every tick must satisfy ``wall <= cap + tolerance`` *unless* the tick is
+    flagged as a breach (the emergency throttle fired and the next tick is
+    clean - persistent breaches raise during the run). Flagged ticks must
+    also agree with the mediator's breach counter, so violations surface
+    through accounting instead of hiding in the timeline.
+
+    Returns:
+        The number of (flagged) breach ticks.
+
+    Raises:
+        SimulationError: on a silent violation or a counter mismatch.
+    """
+    flagged = 0
+    for record in mediator.timeline:
+        over = record.wall_w > record.p_cap_w + tolerance_w
+        if over and not record.breach:
+            raise SimulationError(
+                f"timeline records wall {record.wall_w:.3f} W over cap "
+                f"{record.p_cap_w:.3f} W at t={record.time_s:.2f} s without a "
+                "breach flag"
+            )
+        if record.breach:
+            flagged += 1
+    counted = mediator.fault_stats.breach_ticks
+    if flagged != counted:
+        raise SimulationError(
+            f"timeline flags {flagged} breach ticks but the fault counter "
+            f"recorded {counted}"
+        )
+    return flagged
 
 
 @dataclass(frozen=True)
@@ -36,6 +81,8 @@ class MixExperimentResult:
         server_throughput: Sum of normalized throughputs (the paper's
             "overall server throughput", maximum = number of apps).
         mean_wall_power_w: Average wall power over the window.
+        fault_stats: Resilience counters of the run (all-zero on a clean
+            run; ``None`` only on results built by older callers).
     """
 
     mix_id: int
@@ -45,6 +92,7 @@ class MixExperimentResult:
     power_share: dict[str, float]
     server_throughput: float
     mean_wall_power_w: float
+    fault_stats: FaultStats | None = None
 
 
 def default_battery() -> LeadAcidBattery:
@@ -77,6 +125,8 @@ def run_mix_experiment(
     use_oracle_estimates: bool = False,
     dt_s: float = 0.1,
     seed: int = 0,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> MixExperimentResult:
     """Run one co-location under one policy and cap.
 
@@ -93,7 +143,10 @@ def run_mix_experiment(
             the policy needs one.
         use_oracle_estimates: Bypass the learning pipeline (ablations).
         dt_s: Simulation tick.
-        seed: Calibration-noise seed.
+        seed: Calibration-noise seed (and the fault plan's noise, through
+            the plan's own seed).
+        faults: Optional fault plan injected during the run.
+        resilience: Degraded-mode tunables.
 
     Raises:
         ConfigurationError: for an empty app list.
@@ -113,6 +166,8 @@ def run_mix_experiment(
         use_oracle_estimates=use_oracle_estimates,
         dt_s=dt_s,
         seed=seed,
+        faults=faults,
+        resilience=resilience,
     )
     for profile in apps:
         # Steady-state runs must not see departures; give everyone ample work.
@@ -133,6 +188,7 @@ def run_mix_experiment(
                 shares[name] = plan.allocation.share_of(name)
     window = [r for r in mediator.timeline if r.time_s > warmup_s]
     mean_wall = sum(r.wall_w for r in window) / len(window) if window else 0.0
+    verify_cap_invariant(mediator)
     return MixExperimentResult(
         mix_id=mix_id,
         policy=policy.name,
@@ -141,6 +197,7 @@ def run_mix_experiment(
         power_share=shares,
         server_throughput=sum(throughput.values()),
         mean_wall_power_w=mean_wall,
+        fault_stats=mediator.fault_stats,
     )
 
 
@@ -195,6 +252,9 @@ class DynamicExperimentResult:
             ``Perf/Perf_nocap`` between admission and completion (or the
             horizon).
         events: Count of each Accountant event kind observed.
+        crashed: Applications force-departed by an injected crash (they are
+            *not* in ``completed`` - a crash is not a completion).
+        fault_stats: Resilience counters of the run.
     """
 
     policy: str
@@ -204,6 +264,8 @@ class DynamicExperimentResult:
     completed: tuple[str, ...]
     mean_normalized_throughput: float
     events: dict[str, int]
+    crashed: tuple[str, ...] = ()
+    fault_stats: FaultStats | None = None
 
 
 def run_dynamic_experiment(
@@ -218,6 +280,8 @@ def run_dynamic_experiment(
     use_oracle_estimates: bool = False,
     dt_s: float = 0.1,
     seed: int = 0,
+    faults: FaultPlan | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> DynamicExperimentResult:
     """Replay an arrival schedule against one mediated server.
 
@@ -237,6 +301,7 @@ def run_dynamic_experiment(
             concurrent applications).
         battery: ESD; defaults to :func:`default_battery` for ESD policies.
         use_oracle_estimates / dt_s / seed: As in :func:`run_mix_experiment`.
+        faults / resilience: As in :func:`run_mix_experiment`.
     """
     if horizon_s <= 0:
         raise ConfigurationError("horizon_s must be positive")
@@ -253,6 +318,8 @@ def run_dynamic_experiment(
         use_oracle_estimates=use_oracle_estimates,
         dt_s=dt_s,
         seed=seed,
+        faults=faults,
+        resilience=resilience,
     )
     admitted: list[str] = []
     rejected: list[str] = []
@@ -275,8 +342,19 @@ def run_dynamic_experiment(
             continue
         mediator.run_for(max(dt_s, run_until - server.now_s))
 
+    # Crashed apps also land in the finished registry (forced E3) - only a
+    # handle that actually ran out of work counts as completed.
     completed = tuple(
-        name for name in admitted if name in mediator._finished  # noqa: SLF001
+        name
+        for name in admitted
+        if name in mediator._finished  # noqa: SLF001
+        and mediator.finished_handle(name).completed
+    )
+    crashed = tuple(
+        name
+        for name in admitted
+        if name in mediator._finished  # noqa: SLF001
+        and not mediator.finished_handle(name).completed
     )
     # Per-app throughput over its *residency* (admission to completion, or
     # to the horizon for apps still running) - averaging over the whole
@@ -286,6 +364,10 @@ def run_dynamic_experiment(
         if name in completed:
             handle = mediator.finished_handle(name)
             end = handle.completed_at_s if handle.completed_at_s is not None else horizon_s
+        elif name in crashed:
+            # Residency ends at the crash; the work it did still counts.
+            handle = mediator.finished_handle(name)
+            end = server.now_s
         else:
             handle = server.handle_of(name)
             end = server.now_s
@@ -297,6 +379,7 @@ def run_dynamic_experiment(
     for event in mediator.accountant.event_log:
         kind = type(event).__name__
         events[kind] = events.get(kind, 0) + 1
+    verify_cap_invariant(mediator)
     return DynamicExperimentResult(
         policy=policy.name,
         p_cap_w=p_cap_w,
@@ -307,4 +390,6 @@ def run_dynamic_experiment(
             float(sum(throughputs) / len(throughputs)) if throughputs else 0.0
         ),
         events=events,
+        crashed=crashed,
+        fault_stats=mediator.fault_stats,
     )

@@ -72,3 +72,22 @@ class SimulationError(ReproError):
     model reporting a draw above the enforced cap after coordination, or time
     moving backwards.
     """
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or operation was invalid.
+
+    Examples: a fault spec with an unknown kind, a negative start time, or an
+    injector asked to act on a server component the fault class does not
+    target. Note that *injected* faults never raise - they degrade the
+    substrate; this exception covers misuse of the injection machinery itself.
+    """
+
+
+class TelemetryError(ReproError):
+    """A telemetry reading could not be produced or trusted.
+
+    Examples: reading a sensor that is inside a blackout window, or asking
+    the watchdog for an observation when every recent sample was dropped and
+    no model-predicted fallback was configured.
+    """

@@ -19,6 +19,15 @@ datacenter energy-storage literature the paper builds on ([30, 31, 37, 38]):
 Electrochemical detail (Peukert effect, voltage sag, temperature) is out of
 scope: Requirement R4 depends only on conservation, efficiency and power
 limits. See DESIGN.md section 6.
+
+Fault surface (see DESIGN.md "Fault model and degraded modes"): real UPS
+strings fade (:meth:`LeadAcidBattery.apply_capacity_fade`), lose discharge
+capability when cells age or run hot (:meth:`LeadAcidBattery.derate_discharge`),
+and drop off the bus entirely during BMS resets
+(:meth:`LeadAcidBattery.set_available`). While unavailable both admissible
+powers are zero and charge/discharge are no-ops, so an ESD controller that
+pre-clamps with the admissible queries degrades gracefully without special
+cases.
 """
 
 from __future__ import annotations
@@ -95,6 +104,9 @@ class LeadAcidBattery:
         self._total_charged_j = 0.0
         self._total_stored_j = 0.0
         self._total_discharged_j = 0.0
+        self._nameplate_discharge_w = max_discharge_w
+        self._available = True
+        self._total_faded_j = 0.0
 
     # ------------------------------------------------------------ properties
 
@@ -135,6 +147,16 @@ class LeadAcidBattery:
         return max(0.0, self._capacity_j - self._stored_j)
 
     @property
+    def available(self) -> bool:
+        """Whether the battery is on the bus (``False`` during a BMS reset)."""
+        return self._available
+
+    @property
+    def total_faded_j(self) -> float:
+        """Stored energy lost to capacity fade (for conservation accounting)."""
+        return self._total_faded_j
+
+    @property
     def stats(self) -> BatteryStats:
         usable_capacity = self._capacity_j - self._reserve_j
         return BatteryStats(
@@ -145,6 +167,51 @@ class LeadAcidBattery:
                 self._total_discharged_j / usable_capacity if usable_capacity > 0 else 0.0
             ),
         )
+
+    # ------------------------------------------------------------ fault model
+
+    def set_available(self, available: bool) -> None:
+        """Connect or disconnect the battery from the power bus.
+
+        While disconnected the admissible powers are zero and
+        :meth:`charge`/:meth:`discharge` are no-ops, modelling a transient
+        BMS reset or contactor trip. State of charge is preserved.
+        """
+        self._available = available
+
+    def derate_discharge(self, scale: float) -> None:
+        """Scale the maximum discharge power to ``scale`` x nameplate.
+
+        Models aged or hot cells that can no longer sustain the rated
+        C-rate. ``scale=1.0`` restores the nameplate limit.
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ConfigurationError(f"derate scale must be in (0, 1], got {scale}")
+        self._max_discharge_w = scale * self._nameplate_discharge_w
+
+    def restore_discharge(self) -> None:
+        """Undo any discharge derating."""
+        self._max_discharge_w = self._nameplate_discharge_w
+
+    def apply_capacity_fade(self, fraction_lost: float) -> None:
+        """Permanently shrink capacity by ``fraction_lost`` of its current value.
+
+        The reserve floor shrinks proportionally (it is a fraction of
+        capacity). Stored energy above the new capacity is written off and
+        booked in :attr:`total_faded_j` so conservation accounting still
+        closes: ``stored == eta*charged - discharged - faded`` (relative to
+        the initial charge).
+        """
+        if not 0.0 <= fraction_lost < 1.0:
+            raise ConfigurationError(
+                f"fraction_lost must be in [0, 1), got {fraction_lost}"
+            )
+        keep = 1.0 - fraction_lost
+        self._capacity_j *= keep
+        self._reserve_j *= keep
+        if self._stored_j > self._capacity_j:
+            self._total_faded_j += self._stored_j - self._capacity_j
+            self._stored_j = self._capacity_j
 
     # ------------------------------------------------------------- operations
 
@@ -157,6 +224,8 @@ class LeadAcidBattery:
         """
         if requested_w < 0:
             raise BatteryError(f"negative charge power {requested_w}")
+        if not self._available:
+            return 0.0
         return min(requested_w, self._max_charge_w)
 
     def admissible_discharge_w(self, requested_w: float, dt_s: float) -> float:
@@ -168,6 +237,8 @@ class LeadAcidBattery:
             raise BatteryError(f"negative discharge power {requested_w}")
         if dt_s <= 0:
             raise BatteryError("dt_s must be positive")
+        if not self._available:
+            return 0.0
         energy_limited = self.usable_j / dt_s
         return min(requested_w, self._max_discharge_w, energy_limited)
 
@@ -192,6 +263,8 @@ class LeadAcidBattery:
             raise BatteryError(
                 f"charge power {power_w} W exceeds limit {self._max_charge_w} W"
             )
+        if not self._available:
+            return 0.0
         storable_j = min(self._efficiency * power_w * dt_s, self.headroom_j)
         if storable_j <= 0.0:
             return 0.0
@@ -218,6 +291,8 @@ class LeadAcidBattery:
             raise BatteryError(
                 f"discharge power {power_w} W exceeds limit {self._max_discharge_w} W"
             )
+        if not self._available:
+            return 0.0
         deliverable_j = min(power_w * dt_s, self.usable_j)
         if deliverable_j <= 0.0:
             return 0.0

@@ -1,0 +1,26 @@
+"""Deterministic fault injection for the mediation substrate.
+
+See :mod:`repro.faults.plan` for the declarative fault schedule and
+:mod:`repro.faults.injector` for the machinery that applies it to a
+:class:`~repro.server.server.SimulatedServer`. The resilience mechanisms
+that *survive* these faults live with their subsystems (mediator,
+coordinator, cluster); this package only breaks things, on schedule,
+reproducibly.
+"""
+
+from repro.faults.injector import FaultInjector, FaultTransition
+from repro.faults.plan import (
+    FAULT_MODES,
+    FaultPlan,
+    FaultSpec,
+    default_fault_plan,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTransition",
+    "default_fault_plan",
+]

@@ -61,6 +61,8 @@ class HeartbeatMonitor:
         self._rng = np.random.default_rng(seed)
         self._histories: dict[str, deque[HeartbeatRecord]] = {}
         self._totals: dict[str, float] = {}
+        self._blackout = False
+        self._frozen_rates: dict[str, float] = {}
 
     @property
     def window_s(self) -> float:
@@ -82,6 +84,7 @@ class HeartbeatMonitor:
         self._history_of(app)
         del self._histories[app]
         del self._totals[app]
+        self._frozen_rates.pop(app, None)
 
     def registered(self) -> list[str]:
         """Currently tracked application names, sorted."""
@@ -105,10 +108,43 @@ class HeartbeatMonitor:
         while history and history[0].time_s <= cutoff:
             history.popleft()
 
+    # ---------------------------------------------------------- fault surface
+
+    def set_blackout(self, active: bool) -> None:
+        """Enter or leave a telemetry blackout.
+
+        During a blackout :meth:`heart_rate` serves the rate each app had
+        when the blackout began (a stuck monitoring agent keeps reporting
+        its cached value) instead of fresh window data. Engine-side
+        :meth:`emit` keeps recording, so rates snap back to truth on
+        recovery. Used by the fault injector; clients can also consult
+        :attr:`in_blackout` to distrust readings.
+        """
+        if active and not self._blackout:
+            self._frozen_rates = {app: self._fresh_rate(app) for app in self._histories}
+        if not active:
+            self._frozen_rates = {}
+        self._blackout = active
+
+    @property
+    def in_blackout(self) -> bool:
+        """Whether rate readings are currently frozen."""
+        return self._blackout
+
     # ----------------------------------------------------------- client side
 
     def heart_rate(self, app: str) -> float:
-        """Windowed work rate (beats/s) of ``app``, with optional noise."""
+        """Windowed work rate (beats/s) of ``app``, with optional noise.
+
+        During a blackout (see :meth:`set_blackout`) this returns the stale
+        pre-blackout rate; apps registered mid-blackout read as zero.
+        """
+        self._history_of(app)
+        if self._blackout:
+            return self._frozen_rates.get(app, 0.0)
+        return self._fresh_rate(app)
+
+    def _fresh_rate(self, app: str) -> float:
         history = self._history_of(app)
         if not history:
             return 0.0

@@ -14,11 +14,31 @@ never poke the server state directly; they produce desired settings and the
 controller validates and applies them, mirroring how the real framework shells
 out to the OS tools. It also forwards DRAM allocations to the RAPL interface
 so the capping domain limits stay consistent with what the policy requested.
+
+Fault surface
+-------------
+
+Real sysfs knob writes fail: the write races a firmware update, the MSR is
+stuck, or the value read back is a cached pre-write one. The controller
+models this with two injectable hooks:
+
+* ``actuation_hook(app, requested, current) -> applied | None`` - decides
+  what actually lands when a knob is written (``None`` = write dropped);
+* ``readback_hook(app, true_knob) -> reported`` - what a client sees when it
+  reads the knob back (stale-readback faults lie here).
+
+:meth:`KnobController.set_knob` *verifies* every write by readback and
+returns ``False`` when the observed setting differs from the request; failed
+writes are parked in a registry that the mediator's actuation retrier drains
+with exponential backoff. ``suspend``/``resume`` are signal-based
+(``SIGSTOP``/``SIGCONT``) and deliberately bypass both hooks - that is the
+emergency path's guarantee when RAPL actuation is down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.errors import KnobError, SchedulingError
 from repro.server.config import KnobSetting, ServerConfig
@@ -87,6 +107,12 @@ class KnobController:
         self._topology = topology
         self._rapl = rapl
         self._states: dict[str, AppControlState] = {}
+        #: Fault hooks (installed by a FaultInjector, None when healthy).
+        self.actuation_hook: Optional[
+            Callable[[str, KnobSetting, KnobSetting], Optional[KnobSetting]]
+        ] = None
+        self.readback_hook: Optional[Callable[[str, KnobSetting], KnobSetting]] = None
+        self._failed_writes: dict[str, KnobSetting] = {}
 
     # ------------------------------------------------------------ lifecycle
 
@@ -114,6 +140,7 @@ class KnobController:
         """Stop controlling ``app`` (on departure)."""
         self._state_of(app)
         del self._states[app]
+        self._failed_writes.pop(app, None)
 
     def attached(self) -> list[str]:
         """Names under control, sorted."""
@@ -121,16 +148,33 @@ class KnobController:
 
     # ------------------------------------------------------------ actuation
 
-    def set_knob(self, app: str, knob: KnobSetting) -> None:
-        """Apply a full ``(f, n, m)`` setting to ``app``.
+    def set_knob(self, app: str, knob: KnobSetting) -> bool:
+        """Apply a full ``(f, n, m)`` setting to ``app`` and verify it.
 
         Equivalent to one ``cpupower`` + one ``taskset`` + one DRAM-RAPL
-        write. Raises :class:`~repro.errors.KnobError` for settings outside
-        the discrete knob space or beyond the app's reserved core group.
+        write followed by a readback. Raises
+        :class:`~repro.errors.KnobError` for settings outside the discrete
+        knob space or beyond the app's reserved core group.
+
+        Returns:
+            ``True`` when the readback matches the request; ``False`` when
+            the write was dropped, landed partially, or reads back stale
+            (the desired setting is then parked in :meth:`failed_writes`
+            for the retry machinery).
         """
         self._validate(app, knob)
-        self._state_of(app).knob = knob
+        state = self._state_of(app)
+        applied: KnobSetting | None = knob
+        if self.actuation_hook is not None:
+            applied = self.actuation_hook(app, knob, state.knob)
+        if applied is not None:
+            state.knob = applied
         self._push_dram_limit(app)
+        if self.readback(app) == knob:
+            self._failed_writes.pop(app, None)
+            return True
+        self._failed_writes[app] = knob
+        return False
 
     def set_frequency(self, app: str, freq_ghz: float) -> None:
         """DVFS-only change (``cpupower frequency-set``)."""
@@ -159,8 +203,27 @@ class KnobController:
     # ------------------------------------------------------------- queries
 
     def knob_of(self, app: str) -> KnobSetting:
-        """Current setting of ``app``."""
+        """True current setting of ``app`` (the engine-side ground truth)."""
         return self._state_of(app).knob
+
+    def readback(self, app: str) -> KnobSetting:
+        """Client-visible setting of ``app`` (what a sysfs read returns).
+
+        Identical to :meth:`knob_of` on a healthy controller; under a
+        stale-readback fault it may lag the true setting.
+        """
+        true = self._state_of(app).knob
+        if self.readback_hook is not None:
+            return self.readback_hook(app, true)
+        return true
+
+    def failed_writes(self) -> dict[str, KnobSetting]:
+        """Desired settings whose last write did not verify, by app name."""
+        return dict(self._failed_writes)
+
+    def clear_failed_write(self, app: str) -> None:
+        """Drop ``app`` from the failed-writes registry (give up retrying)."""
+        self._failed_writes.pop(app, None)
 
     def is_suspended(self, app: str) -> bool:
         """Whether ``app`` is currently SIGSTOPped."""

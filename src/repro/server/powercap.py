@@ -44,11 +44,15 @@ class ZoneStats:
         unthrottle_steps: Times it stepped back up.
         violation_ticks: Ticks whose instantaneous draw exceeded the limit
             (transients the closed loop subsequently corrected).
+        failed_actuations: Knob writes that did not verify on readback
+            (actuation faults); the loop re-asserts them every tick until
+            one sticks.
     """
 
     throttle_steps: int = 0
     unthrottle_steps: int = 0
     violation_ticks: int = 0
+    failed_actuations: int = 0
 
 
 class PowercapZone:
@@ -195,14 +199,24 @@ class HardwarePowercap:
         del self._zones[app]
 
     def on_tick(self, result: TickResult) -> None:
-        """Feed one tick's measurements into every zone's control loop."""
+        """Feed one tick's measurements into every zone's control loop.
+
+        Hardware control loops do not give up: when a knob write fails to
+        verify (an actuation fault dropped or tore it), the divergence is
+        counted and the zone's setting is re-asserted on every subsequent
+        tick until the substrate accepts it.
+        """
         for app, zone in self._zones.items():
             power = result.breakdown.app_w.get(app)
             if power is None:
                 continue  # suspended or completed: nothing to control
+            if self._server.handle_of(app).completed:
+                continue
             new_knob = zone.observe(result.time_s, power)
-            if new_knob is not None and not self._server.handle_of(app).completed:
-                self._server.knobs.set_knob(app, new_knob)
+            if new_knob is None and self._server.knobs.readback(app) != zone.knob:
+                new_knob = zone.knob  # re-assert a previously failed write
+            if new_knob is not None and not self._server.knobs.set_knob(app, new_knob):
+                zone.stats.failed_actuations += 1
 
     def total_limit_w(self) -> float:
         """Sum of zone limits - the budget hardware isolation guarantees."""

@@ -28,30 +28,66 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
+#: Wrap range of the hardware ``energy_uj`` counter: 2^32 microjoules.
+#: At an 80 W draw the counter wraps roughly every 54 seconds, so any
+#: realistic run crosses it many times - consumers must difference counters
+#: with :func:`energy_delta_j`, never by raw subtraction.
+ENERGY_WRAP_J = 2**32 * 1e-6
+
+
+def energy_delta_j(later_j: float, earlier_j: float, *, wrap_range_j: float = ENERGY_WRAP_J) -> float:
+    """Wraparound-safe difference between two energy-counter readings.
+
+    Mirrors how real RAPL consumers (e.g. ``turbostat``) difference the
+    32-bit ``energy_uj`` counter: a later reading that is numerically smaller
+    than the earlier one means the counter wrapped (assumed at most once per
+    sampling interval, which holds for any sane sampling rate).
+
+    Args:
+        later_j: The more recent counter reading.
+        earlier_j: The older counter reading.
+        wrap_range_j: Counter modulus in joules.
+
+    Returns:
+        The energy accumulated between the two readings, in joules.
+    """
+    if wrap_range_j <= 0:
+        raise ConfigurationError(f"wrap range must be positive, got {wrap_range_j}")
+    delta = later_j - earlier_j
+    if delta < 0:
+        delta += wrap_range_j
+    return delta
+
 
 @dataclass
 class RaplDomain:
     """One RAPL domain: an energy counter plus a power limit.
 
+    The counter emulates the 32-bit ``energy_uj`` register of real parts: it
+    accumulates modulo :attr:`wrap_range_j` (about 4294.97 J), so readers must
+    use :func:`energy_delta_j` to difference two samples.
+
     Attributes:
         name: Domain name, e.g. ``"package-0"`` or ``"dram-1"``.
-        energy_j: Monotonic energy counter in joules.
+        energy_j: Energy counter in joules, modulo :attr:`wrap_range_j`.
         power_limit_w: Current average-power limit; ``None`` means uncapped.
         last_power_w: Most recent instantaneous power written by the engine.
+        wrap_range_j: Counter modulus; the hardware's 2^32 uJ by default.
     """
 
     name: str
     energy_j: float = 0.0
     power_limit_w: float | None = None
     last_power_w: float = 0.0
+    wrap_range_j: float = ENERGY_WRAP_J
 
     def advance(self, power_w: float, dt_s: float) -> None:
-        """Accumulate ``power_w`` watts over ``dt_s`` seconds."""
+        """Accumulate ``power_w`` watts over ``dt_s`` seconds (with wrap)."""
         if power_w < 0:
             raise ConfigurationError(f"negative power {power_w} on domain {self.name}")
         if dt_s < 0:
             raise ConfigurationError("time cannot move backwards")
-        self.energy_j += power_w * dt_s
+        self.energy_j = (self.energy_j + power_w * dt_s) % self.wrap_range_j
         self.last_power_w = power_w
 
     @property

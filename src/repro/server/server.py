@@ -50,6 +50,10 @@ class ApplicationHandle:
         resume_debt_s: Outstanding private-cache refill time to charge
             against the next executing ticks (set on resume-after-suspend).
         resumes: Number of suspend->resume transitions (reporting).
+        hung: ``True`` while the process is live-locked: it keeps drawing
+            its allocated power but completes zero work (the nastiest
+            fault class for a utility-aware allocator, which sees spend
+            without progress). Set/cleared by the fault injector.
     """
 
     name: str
@@ -60,6 +64,7 @@ class ApplicationHandle:
     completed_at_s: float | None = None
     resume_debt_s: float = 0.0
     resumes: int = 0
+    hung: bool = False
 
     @property
     def remaining_work(self) -> float:
@@ -327,7 +332,8 @@ class SimulatedServer:
                 refill = min(handle.resume_debt_s, useful_s)
                 handle.resume_debt_s -= refill
                 useful_s -= refill
-            work = self._perf.rate(profile, knob) * useful_s
+            # A hung process burns its whole allocation but completes nothing.
+            work = 0.0 if handle.hung else self._perf.rate(profile, knob) * useful_s
             work = min(work, handle.remaining_work)
             handle.work_done += work
             progressed[name] = work

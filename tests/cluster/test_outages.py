@@ -1,0 +1,159 @@
+"""Node failures at cluster scale: validation, accounting, redistribution."""
+
+import pytest
+
+from repro.cluster.cluster import ClusterSimulator, NodeOutage
+from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
+from repro.errors import ConfigurationError
+from repro.workloads.mixes import all_mixes
+from repro.workloads.traces import ClusterPowerTrace
+
+
+@pytest.fixture(scope="module")
+def sim(config):
+    return ClusterSimulator(config)
+
+
+@pytest.fixture(scope="module")
+def trace(sim):
+    return ClusterPowerTrace.synthetic_diurnal(
+        peak_w=sim.uncapped_cluster_power_w(), step_s=300.0, seed=1
+    )
+
+
+def run(sim, trace, outages=()):
+    return sim.run(
+        trace=trace,
+        duration_s=8.0,
+        warmup_s=3.0,
+        shave_fractions=(0.30,),
+        outages=outages,
+    )
+
+
+class TestValidation:
+    def test_negative_server_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeOutage(server=-1, start_step=0, end_step=1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeOutage(server=0, start_step=-1, end_step=1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeOutage(server=0, start_step=3, end_step=3)
+
+    def test_down_at_is_half_open(self):
+        outage = NodeOutage(server=0, start_step=2, end_step=5)
+        assert not outage.down_at(1)
+        assert outage.down_at(2)
+        assert outage.down_at(4)
+        assert not outage.down_at(5)
+
+
+class TestAccounting:
+    def test_fault_free_run_reports_zero_lost_node_steps(self, sim, trace):
+        experiment = run(sim, trace)
+        for per in experiment.results.values():
+            for result in per.values():
+                assert result.lost_node_steps == 0
+
+    def test_lost_node_steps_counts_down_servers(self, sim, trace):
+        outage = NodeOutage(server=0, start_step=10, end_step=40)
+        experiment = run(sim, trace, outages=(outage,))
+        for per in experiment.results.values():
+            for result in per.values():
+                assert result.lost_node_steps == 30
+
+    def test_out_of_fleet_server_ignored(self, sim, trace):
+        outage = NodeOutage(server=99, start_step=0, end_step=50)
+        experiment = run(sim, trace, outages=(outage,))
+        for per in experiment.results.values():
+            for result in per.values():
+                assert result.lost_node_steps == 0
+
+    def test_overlapping_outages_count_each_server(self, sim, trace):
+        outages = (
+            NodeOutage(server=0, start_step=10, end_step=20),
+            NodeOutage(server=1, start_step=15, end_step=25),
+        )
+        experiment = run(sim, trace, outages=outages)
+        result = next(iter(experiment.results.values()))["equal-ours"]
+        assert result.lost_node_steps == 20
+
+
+class TestDegradation:
+    def test_half_fleet_outage_degrades_every_strategy(self, sim, trace):
+        steps = len(trace.demand_w)
+        outages = tuple(
+            NodeOutage(server=i, start_step=0, end_step=steps) for i in range(5)
+        )
+        healthy = run(sim, trace)
+        crippled = run(sim, trace, outages=outages)
+        for shave, per in healthy.results.items():
+            for policy, baseline in per.items():
+                degraded = crippled.results[shave][policy]
+                assert (
+                    degraded.aggregate_performance
+                    < baseline.aggregate_performance
+                )
+
+    def test_consolidation_spare_capacity_absorbs_one_node(self, sim, trace):
+        """Consolidation packs work onto ``floor(cap / rated)`` servers and
+        keeps the rest dark, so losing one node costs it nothing."""
+        steps = len(trace.demand_w)
+        outage = NodeOutage(server=9, start_step=0, end_step=steps)
+        healthy = run(sim, trace)
+        failed = run(sim, trace, outages=(outage,))
+        shave = next(iter(healthy.results))
+        assert failed.results[shave]["consolidation-migration"].aggregate_performance == (
+            pytest.approx(
+                healthy.results[shave][
+                    "consolidation-migration"
+                ].aggregate_performance
+            )
+        )
+
+
+class TestWalkerAvailability:
+    @staticmethod
+    def _apps(config, n_mixes):
+        return [p for mix in all_mixes()[:n_mixes] for p in mix.profiles()]
+
+    def test_replan_packs_only_available_servers(self, config):
+        """At a replan a shrunken fleet means fewer packed servers, hence
+        less aggregate performance."""
+        apps = self._apps(config, 4)
+        cap = 4 * config.uncapped_power_w
+        full = ConsolidationWalker(ConsolidationPlanner(config), 4)
+        shrunk = ConsolidationWalker(ConsolidationPlanner(config), 4)
+        perf_full, _ = full.step(apps, cap, 300.0)
+        perf_shrunk, power_shrunk = shrunk.step(apps, cap, 300.0, n_available=1)
+        assert perf_shrunk < perf_full
+        assert power_shrunk <= config.uncapped_power_w + 1e-9
+
+    def test_failure_between_replans_stalls_placements(self, config):
+        """A node lost inside the replan-hysteresis window sheds its
+        placement immediately; recovery restores it without a replan."""
+        apps = self._apps(config, 4)
+        cap = 4 * config.uncapped_power_w
+        walker = ConsolidationWalker(
+            ConsolidationPlanner(config), 4, replan_interval_s=3600.0
+        )
+        perf_healthy, _ = walker.step(apps, cap, 300.0)
+        perf_failed, _ = walker.step(apps, cap, 300.0, n_available=1)
+        perf_restored, _ = walker.step(apps, cap, 300.0, n_available=4)
+        assert perf_failed < perf_healthy
+        assert perf_restored == pytest.approx(perf_healthy)
+
+    def test_zero_available_powers_everything_down(self, config):
+        apps = self._apps(config, 2)
+        cap = 2 * config.uncapped_power_w
+        walker = ConsolidationWalker(
+            ConsolidationPlanner(config), 2, replan_interval_s=3600.0
+        )
+        walker.step(apps, cap, 300.0)
+        perf, power = walker.step(apps, cap, 300.0, n_available=0)
+        assert perf == 0.0
+        assert power == 0.0

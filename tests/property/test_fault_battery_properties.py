@@ -1,0 +1,112 @@
+"""Hypothesis: battery invariants hold under arbitrary interleavings of
+normal operation and injected faults.
+
+Three invariants, for any random sequence of charge/discharge ticks mixed
+with outages, discharge deratings, capacity fades and restorations:
+
+* stored energy stays in ``[0, capacity]`` (capacity itself may shrink);
+* delivered discharge power never exceeds the currently derated limit;
+* energy is conserved: ``stored - initial == eta * charged - discharged
+  - faded``.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.esd.battery import LeadAcidBattery
+
+_EFFICIENCY = 0.70
+_CAPACITY_J = 500.0
+_MAX_CHARGE_W = 50.0
+_MAX_DISCHARGE_W = 60.0
+_DT_S = 0.5
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("charge"), st.floats(0.0, 120.0, allow_nan=False)),
+        st.tuples(st.just("discharge"), st.floats(0.0, 120.0, allow_nan=False)),
+        st.tuples(st.just("outage"), st.booleans()),
+        st.tuples(st.just("derate"), st.floats(0.05, 1.0, allow_nan=False)),
+        st.tuples(st.just("restore"), st.just(0.0)),
+        st.tuples(st.just("fade"), st.floats(0.0, 0.6, allow_nan=False,
+                                             exclude_max=True)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+initial_socs = st.floats(0.0, 1.0, allow_nan=False)
+
+
+def _apply(battery: LeadAcidBattery, op: str, arg: float) -> float:
+    """Run one operation; returns power delivered by a discharge (else 0)."""
+    if op == "charge":
+        admissible = battery.admissible_charge_w(arg)
+        battery.charge(admissible, _DT_S)
+        return 0.0
+    if op == "discharge":
+        admissible = battery.admissible_discharge_w(arg, _DT_S)
+        return battery.discharge(admissible, _DT_S)
+    if op == "outage":
+        battery.set_available(bool(arg))
+    elif op == "derate":
+        battery.derate_discharge(arg)
+    elif op == "restore":
+        battery.restore_discharge()
+    elif op == "fade":
+        battery.apply_capacity_fade(arg)
+    return 0.0
+
+
+class TestBatteryFaultInvariants:
+    @given(sequence=ops, initial_soc=initial_socs)
+    @settings(max_examples=120, deadline=None)
+    def test_soc_stays_within_bounds(self, sequence, initial_soc):
+        battery = LeadAcidBattery(
+            _CAPACITY_J,
+            efficiency=_EFFICIENCY,
+            max_charge_w=_MAX_CHARGE_W,
+            max_discharge_w=_MAX_DISCHARGE_W,
+            initial_soc=initial_soc,
+        )
+        for op, arg in sequence:
+            _apply(battery, op, arg)
+            assert 0.0 <= battery.stored_j <= battery.capacity_j + 1e-9
+            assert 0.0 <= battery.soc <= 1.0 + 1e-12
+
+    @given(sequence=ops, initial_soc=initial_socs)
+    @settings(max_examples=120, deadline=None)
+    def test_discharge_never_exceeds_derated_limit(self, sequence, initial_soc):
+        battery = LeadAcidBattery(
+            _CAPACITY_J,
+            efficiency=_EFFICIENCY,
+            max_charge_w=_MAX_CHARGE_W,
+            max_discharge_w=_MAX_DISCHARGE_W,
+            initial_soc=initial_soc,
+        )
+        for op, arg in sequence:
+            delivered = _apply(battery, op, arg)
+            assert delivered <= battery.max_discharge_w + 1e-9
+            assert battery.max_discharge_w <= _MAX_DISCHARGE_W + 1e-9
+
+    @given(sequence=ops, initial_soc=initial_socs)
+    @settings(max_examples=120, deadline=None)
+    def test_energy_is_conserved(self, sequence, initial_soc):
+        battery = LeadAcidBattery(
+            _CAPACITY_J,
+            efficiency=_EFFICIENCY,
+            max_charge_w=_MAX_CHARGE_W,
+            max_discharge_w=_MAX_DISCHARGE_W,
+            initial_soc=initial_soc,
+        )
+        initial_j = battery.stored_j
+        for op, arg in sequence:
+            _apply(battery, op, arg)
+            stats = battery.stats
+            banked = _EFFICIENCY * stats.total_charged_j
+            assert battery.stored_j - initial_j == pytest.approx(
+                banked - stats.total_discharged_j - battery.total_faded_j,
+                abs=1e-6,
+            )

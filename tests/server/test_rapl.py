@@ -1,9 +1,14 @@
-"""RAPL interface: counters, limits, violations, noise."""
+"""RAPL interface: counters, limits, violations, noise, wraparound."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.server.rapl import RaplInterface
+from repro.server.rapl import (
+    ENERGY_WRAP_J,
+    RaplDomain,
+    RaplInterface,
+    energy_delta_j,
+)
 
 
 @pytest.fixture()
@@ -107,3 +112,46 @@ class TestLimits:
     def test_uncapped_domain_never_violates(self, rapl):
         rapl.advance({"package-0": 1000.0}, 0.1)
         assert rapl.violations() == []
+
+
+class TestWraparound:
+    """The 32-bit ``energy_uj`` counter wraps ~every 54 s at 80 W; consumers
+    must difference with :func:`energy_delta_j`, never raw subtraction."""
+
+    def test_wrap_range_matches_hardware_register(self):
+        assert ENERGY_WRAP_J == pytest.approx(2**32 * 1e-6)
+
+    def test_counter_wraps_at_range(self):
+        dom = RaplDomain("psys", wrap_range_j=100.0)
+        dom.advance(30.0, 3.0)  # 90 J
+        dom.advance(30.0, 1.0)  # +30 J -> 120 J -> wraps to 20 J
+        assert dom.energy_j == pytest.approx(20.0)
+
+    def test_counter_stays_below_range_under_long_accumulation(self):
+        dom = RaplDomain("psys")
+        for _ in range(200):
+            dom.advance(80.0, 0.5)  # 8 kJ total: crosses the wrap once
+        assert 0.0 <= dom.energy_j < ENERGY_WRAP_J
+
+    def test_delta_without_wrap(self):
+        assert energy_delta_j(50.0, 20.0) == pytest.approx(30.0)
+
+    def test_delta_across_wrap(self):
+        assert energy_delta_j(5.0, 95.0, wrap_range_j=100.0) == pytest.approx(10.0)
+
+    def test_delta_recovers_true_energy_across_wrap(self):
+        dom = RaplDomain("psys", wrap_range_j=100.0)
+        dom.advance(40.0, 2.0)  # 80 J
+        before = dom.energy_j
+        dom.advance(40.0, 1.0)  # +40 J, wraps
+        assert dom.energy_j < before  # raw subtraction would go negative
+        assert energy_delta_j(
+            dom.energy_j, before, wrap_range_j=100.0
+        ) == pytest.approx(40.0)
+
+    def test_bad_wrap_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_delta_j(1.0, 0.0, wrap_range_j=0.0)
+
+    def test_interface_domains_use_hardware_wrap_range(self, rapl):
+        assert rapl.domain("psys").wrap_range_j == ENERGY_WRAP_J

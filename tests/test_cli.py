@@ -101,3 +101,61 @@ class TestExtensionSubcommands:
     def test_zones_wrong_limit_count(self):
         with pytest.raises(SystemExit):
             main(["zones", "--mix", "1", "--limits", "14"])
+
+
+class TestFaultsFlag:
+    def test_mix_with_default_plan_prints_resilience(self, capsys):
+        code = main(
+            [
+                "mix", "--mix", "10", "--cap", "80", "--faults", "default",
+                "--duration", "8", "--warmup", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults" in out and "recovered" in out
+        assert "breach ticks" in out
+
+    def test_mix_without_faults_prints_no_resilience(self, capsys):
+        code = main(
+            ["mix", "--mix", "10", "--cap", "100", "--duration", "6", "--warmup", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breach ticks" not in out
+
+    def test_mix_with_json_plan_file(self, capsys, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="telemetry", mode="drop", start_s=3.0, duration_s=2.0),
+            ),
+            seed=5,
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        code = main(
+            [
+                "mix", "--mix", "10", "--cap", "80",
+                "--faults", str(path), "--duration", "8", "--warmup", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "degraded telemetry" in out
+
+    def test_missing_plan_file_fails_loudly(self):
+        with pytest.raises(SystemExit):
+            main(["mix", "--mix", "10", "--cap", "80", "--faults", "/no/such/plan.json"])
+
+    def test_dynamic_with_default_plan(self, capsys):
+        code = main(
+            [
+                "dynamic", "--cap", "100", "--faults", "default",
+                "--horizon", "60",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults" in out
