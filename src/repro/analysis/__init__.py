@@ -11,8 +11,10 @@ from repro.analysis.metrics import (
     speedup_over,
     power_split_stats,
     summarize_policies,
+    summarize_recovery,
     summarize_resilience,
     PolicySummary,
+    RecoverySummary,
     ResilienceSummary,
 )
 from repro.analysis.reporting import format_table, format_series, banner
@@ -32,8 +34,10 @@ __all__ = [
     "speedup_over",
     "power_split_stats",
     "summarize_policies",
+    "summarize_recovery",
     "summarize_resilience",
     "PolicySummary",
+    "RecoverySummary",
     "ResilienceSummary",
     "format_table",
     "format_series",

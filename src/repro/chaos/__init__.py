@@ -1,0 +1,30 @@
+"""Chaos-soak harness: prove mediation survives its own death.
+
+Kills the mediator at seeded random ticks, lets the
+:class:`~repro.persistence.supervisor.Supervisor` warm-restart it from
+checkpoint + journal, and asserts the recovery invariants - no sustained cap
+breach, conserved battery ledgers, final utility within tolerance of an
+uninterrupted baseline, and (when no safe hold is configured) a
+bit-identical timeline. Composes with :class:`~repro.faults.plan.FaultPlan`
+so substrate faults and mediator crashes can overlap.
+"""
+
+from repro.chaos.harness import (
+    ChaosRunResult,
+    ChaosSoakResult,
+    kill_schedule,
+    mix_recipe,
+    run_chaos_mix,
+    run_chaos_soak,
+    run_script,
+)
+
+__all__ = [
+    "ChaosRunResult",
+    "ChaosSoakResult",
+    "kill_schedule",
+    "mix_recipe",
+    "run_chaos_mix",
+    "run_chaos_soak",
+    "run_script",
+]

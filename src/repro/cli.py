@@ -27,16 +27,17 @@ import sys
 
 import numpy as np
 
-from repro.analysis.metrics import summarize_resilience
+from repro.analysis.metrics import summarize_recovery, summarize_resilience
 from repro.analysis.reporting import banner, format_series, format_table
 from repro.core.policies import POLICY_NAMES
 from repro.core.simulation import (
     run_dynamic_experiment,
     run_mix_experiment,
     run_policy_comparison,
+    summarize_mix_run,
 )
 from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
-from repro.errors import FaultError
+from repro.errors import ChaosError, FaultError, PersistenceError
 from repro.faults import FaultPlan, default_fault_plan
 from repro.cluster.cluster import ClusterSimulator
 from repro.learning.crossval import calibrate_sampling_fraction
@@ -82,20 +83,80 @@ def _print_resilience(fault_stats, total_ticks: int) -> None:
     )
 
 
+def _print_recovery(stats, *, dt_s: float = 0.1) -> None:
+    summary = summarize_recovery(stats, dt_s=dt_s)
+    print(
+        f"recovery: {summary.restarts} restarts "
+        f"({summary.hangs_detected} hangs); "
+        f"downtime {summary.downtime_ticks} ticks ({summary.downtime_s:.1f} s); "
+        f"journal replayed {summary.journal_records_replayed} records; "
+        f"checkpoints {summary.checkpoints_written}; "
+        f"relearn avoided {summary.cold_relearns_avoided} apps / "
+        f"{summary.samples_restored} samples "
+        f"(~{summary.relearn_cost_avoided_s:.1f} s saved)"
+    )
+
+
 def cmd_mix(args: argparse.Namespace) -> int:
     mix = get_mix(args.mix)
     faults = _load_fault_plan(args.faults)
-    result = run_mix_experiment(
-        list(mix.profiles()),
-        args.policy,
-        args.cap,
-        mix_id=args.mix,
-        duration_s=args.duration,
-        warmup_s=args.warmup,
-        use_oracle_estimates=args.oracle,
-        seed=args.seed,
-        faults=faults,
-    )
+    recovery_stats = None
+    if args.resume is not None:
+        from repro.persistence import read_checkpoint, restore_mediator
+
+        doc = read_checkpoint(args.resume)
+        mediator = restore_mediator(doc)
+        total_s = args.warmup + args.duration
+        remaining_s = total_s - mediator.server.now_s
+        print(
+            f"resumed from {args.resume} at tick {doc['created_tick']} "
+            f"(t={doc['sim_time_s']:.1f} s); {max(0.0, remaining_s):.1f} s to go"
+        )
+        if remaining_s > 0:
+            mediator.run_for(remaining_s)
+        result = summarize_mix_run(
+            mediator, list(mix.profiles()), warmup_s=args.warmup, mix_id=args.mix
+        )
+    elif args.checkpoint_dir is not None:
+        from repro.chaos import mix_recipe
+        from repro.persistence import Supervisor
+
+        recipe, script = mix_recipe(
+            list(mix.profiles()),
+            args.policy,
+            args.cap,
+            config=ServerConfig(),
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            use_oracle_estimates=args.oracle,
+            dt_s=0.1,
+            seed=args.seed,
+            faults=faults,
+            resilience=None,
+        )
+        supervisor = Supervisor(
+            recipe,
+            script,
+            args.checkpoint_dir,
+            checkpoint_every_ticks=args.checkpoint_every,
+        )
+        mediator = supervisor.run()
+        recovery_stats = supervisor.stats
+        result = summarize_mix_run(
+            mediator, list(mix.profiles()), warmup_s=args.warmup, mix_id=args.mix
+        )
+    else:
+        result = run_mix_experiment(
+            list(mix.profiles()),
+            args.policy,
+            args.cap,
+            mix_id=args.mix,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            use_oracle_estimates=args.oracle,
+            seed=args.seed,
+            faults=faults,
+        )
     print(banner(f"{mix} @ {args.cap:.0f} W under {args.policy}"))
     rows = [
         [name, result.normalized_throughput[name], result.power_share[name]]
@@ -110,6 +171,63 @@ def cmd_mix(args: argparse.Namespace) -> int:
         _print_resilience(
             result.fault_stats, total_ticks=int(round(args.duration / 0.1))
         )
+    if recovery_stats is not None:
+        _print_recovery(recovery_stats)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.chaos import run_chaos_soak
+
+    mix = get_mix(args.mix)
+    faults = _load_fault_plan(args.faults)
+    seeds = list(range(args.runs))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        workdir = args.workdir if args.workdir is not None else scratch
+        soak = run_chaos_soak(
+            list(mix.profiles()),
+            args.policy,
+            args.cap,
+            workdir=workdir,
+            seeds=seeds,
+            kills_per_run=args.kills,
+            mix_id=args.mix,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            use_oracle_estimates=args.oracle,
+            seed=args.seed,
+            faults=faults,
+            checkpoint_every_ticks=args.checkpoint_every,
+            safe_hold_ticks=args.safe_hold,
+            tear_journal_bytes_on_crash=args.tear_bytes,
+            utility_tolerance=args.tolerance,
+        )
+    print(banner(f"chaos soak: {mix} @ {args.cap:.0f} W under {args.policy}"))
+    rows = [
+        [
+            seed,
+            ",".join(str(t) for t in run.kill_ticks) or "-",
+            run.recovery.restarts,
+            run.recovery.downtime_ticks,
+            f"{run.utility_gap:.2%}",
+            {True: "yes", False: "NO", None: "n/a"}[run.timeline_identical],
+        ]
+        for seed, run in zip(seeds, soak.runs)
+    ]
+    print(
+        format_table(
+            ["seed", "kill ticks", "restarts", "downtime", "util gap", "bit-identical"],
+            rows,
+        )
+    )
+    print(
+        f"{len(soak.runs)} runs survived: {soak.total_restarts} restarts, "
+        f"{soak.total_downtime_ticks} downtime ticks, "
+        f"max utility gap {soak.max_utility_gap:.2%} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
     return 0
 
 
@@ -341,9 +459,63 @@ def build_parser() -> argparse.ArgumentParser:
     p_mix.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
     p_mix.add_argument("--duration", type=float, default=30.0)
     p_mix.add_argument("--warmup", type=float, default=10.0)
+    p_mix.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="run supervised, checkpointing into DIR (with a write-ahead journal)",
+    )
+    p_mix.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="ticks between checkpoints (with --checkpoint-dir)",
+    )
+    p_mix.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="CKPT.json",
+        help="restore a checkpoint and run the remaining duration",
+    )
     common(p_mix)
     faults_arg(p_mix)
     p_mix.set_defaults(func=cmd_mix)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="kill/restart soak: crash the mediator, assert recovery"
+    )
+    p_chaos.add_argument("--mix", type=int, default=10, help="Table II mix id (1-15)")
+    p_chaos.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
+    p_chaos.add_argument("--duration", type=float, default=10.0)
+    p_chaos.add_argument("--warmup", type=float, default=4.0)
+    p_chaos.add_argument("--runs", type=int, default=5, help="seeded soak runs")
+    p_chaos.add_argument("--kills", type=int, default=3, help="kills per run")
+    p_chaos.add_argument(
+        "--checkpoint-every", type=int, default=50, metavar="N",
+        help="ticks between checkpoints",
+    )
+    p_chaos.add_argument(
+        "--safe-hold", type=int, default=0, metavar="TICKS",
+        help="guard-banded safe posture after each restart",
+    )
+    p_chaos.add_argument(
+        "--tear-bytes", type=int, default=0, metavar="B",
+        help="tear up to B un-fsynced bytes off the journal at each crash",
+    )
+    p_chaos.add_argument(
+        "--tolerance", type=float, default=0.01,
+        help="relative utility tolerance vs the uninterrupted baseline",
+    )
+    p_chaos.add_argument(
+        "--workdir", type=str, default=None,
+        help="keep journals/checkpoints here (default: a temp dir)",
+    )
+    common(p_chaos)
+    faults_arg(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_cmp = sub.add_parser("compare", help="policies x mixes comparison")
     p_cmp.add_argument("--mixes", type=str, default="", help="comma-separated mix ids (default: all)")
@@ -407,7 +579,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except (PersistenceError, ChaosError) as exc:
+        # Corrupt checkpoints, torn journals, failed soak invariants: one
+        # clear line, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

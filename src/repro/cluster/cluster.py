@@ -161,6 +161,36 @@ class ClusterSimulator:
     def n_servers(self) -> int:
         return len(self._mixes)
 
+    def state_dict(self) -> dict:
+        """Snapshot the memoized per-bin evaluations (JSON-serializable).
+
+        Cluster sweeps spend nearly all their time filling these caches;
+        checkpointing them lets a restarted sweep skip straight to the
+        unevaluated bins. Keys are flattened to ``"k|policy|cap"`` strings
+        so the snapshot round-trips through JSON.
+        """
+        return {
+            "equal": {
+                f"{k}|{policy}|{cap!r}": list(value)
+                for (k, policy, cap), value in self._equal_cache.items()
+            },
+            "loaded_power": {
+                str(idx): power for idx, power in self._loaded_power_cache.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (caches only; the mixes and
+        config come from the constructor and must match)."""
+        equal: dict[tuple[int, str, float], tuple[float, float]] = {}
+        for key, value in state["equal"].items():
+            k, policy, cap = key.split("|")
+            equal[(int(k), policy, float(cap))] = (float(value[0]), float(value[1]))
+        self._equal_cache = equal
+        self._loaded_power_cache = {
+            int(idx): float(power) for idx, power in state["loaded_power"].items()
+        }
+
     def loaded_server_power_w(self, index: int) -> float:
         """Uncapped draw of server ``index`` carrying its mix."""
         if index not in self._loaded_power_cache:

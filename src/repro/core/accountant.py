@@ -29,6 +29,8 @@ from repro.core.events import (
     FaultEvent,
     PhaseChangeEvent,
     RecoveryEvent,
+    event_from_dict,
+    event_to_dict,
 )
 from repro.server.server import SimulatedServer, TickResult
 from repro.workloads.profiles import WorkloadProfile
@@ -116,6 +118,40 @@ class Accountant:
         )
         self._log.append(event)
         return event
+
+    # ---------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot the cap, ledgers, debounce counters, and event log.
+
+        The adopted plan is *not* serialized here - the coordinator owns the
+        canonical copy, and :meth:`load_state_dict` re-links to it so both
+        components keep referring to the same object after a restore.
+        """
+        return {
+            "p_cap_w": self._p_cap_w,
+            "deviation_counts": dict(self._deviation_counts),
+            "suppressed": sorted(self._suppressed),
+            "log": [event_to_dict(event) for event in self._log],
+        }
+
+    def load_state_dict(self, state: dict, *, plan: AllocationPlan | None) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Args:
+            state: The snapshot.
+            plan: The coordinator's restored plan; passed in (rather than
+                deserialized twice) so deviation tracking and execution keep
+                sharing one plan object, as they do in a live run.
+        """
+        cap = state["p_cap_w"]
+        self._p_cap_w = None if cap is None else float(cap)
+        self._plan = plan
+        self._deviation_counts = {
+            app: int(count) for app, count in state["deviation_counts"].items()
+        }
+        self._suppressed = set(state["suppressed"])
+        self._log = [event_from_dict(item) for item in state["log"]]
 
     # -------------------------------------------------------------- polling
 

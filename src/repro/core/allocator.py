@@ -56,6 +56,27 @@ class AppAllocation:
     power_w: float
     relative_perf: float
 
+    def to_dict(self) -> dict:
+        """JSON-safe form, used by checkpoints."""
+        return {
+            "app": self.app,
+            "excluded": self.excluded,
+            "knob": self.knob.to_json(),
+            "power_w": self.power_w,
+            "relative_perf": self.relative_perf,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AppAllocation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            app=data["app"],
+            excluded=bool(data["excluded"]),
+            knob=KnobSetting.from_json(data["knob"]),
+            power_w=float(data["power_w"]),
+            relative_perf=float(data["relative_perf"]),
+        )
+
 
 @dataclass(frozen=True)
 class Allocation:
@@ -94,6 +115,26 @@ class Allocation:
             return 0.0
         alloc = self.apps[app]
         return 0.0 if alloc.excluded else alloc.power_w / total
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, used by checkpoints."""
+        return {
+            "budget_w": self.budget_w,
+            "apps": {name: alloc.to_dict() for name, alloc in self.apps.items()},
+            "objective": self.objective,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Allocation":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            budget_w=float(data["budget_w"]),
+            apps={
+                name: AppAllocation.from_dict(alloc)
+                for name, alloc in data["apps"].items()
+            },
+            objective=float(data["objective"]),
+        )
 
 
 class PowerAllocator:

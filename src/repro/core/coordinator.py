@@ -92,6 +92,64 @@ class AllocationPlan:
         if self.mode is CoordinationMode.ESD and self.duty_cycle is None:
             raise ConfigurationError("ESD mode requires a duty cycle")
 
+    def to_dict(self) -> dict:
+        """JSON-safe form, used by checkpoints."""
+        return {
+            "mode": self.mode.value,
+            "p_cap_w": self.p_cap_w,
+            "allocation": None if self.allocation is None else self.allocation.to_dict(),
+            "knobs": {name: knob.to_json() for name, knob in self.knobs.items()},
+            "slots": [
+                {
+                    "apps": list(slot.apps),
+                    "duration_s": slot.duration_s,
+                    "knobs": {n: k.to_json() for n, k in slot.knobs.items()},
+                }
+                for slot in self.slots
+            ],
+            "duty_cycle": None
+            if self.duty_cycle is None
+            else {
+                "off_s": self.duty_cycle.off_s,
+                "on_s": self.duty_cycle.on_s,
+                "charge_w": self.duty_cycle.charge_w,
+                "discharge_w": self.duty_cycle.discharge_w,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocationPlan":
+        """Inverse of :meth:`to_dict`."""
+        allocation = data["allocation"]
+        cycle = data["duty_cycle"]
+        return cls(
+            mode=CoordinationMode(data["mode"]),
+            p_cap_w=float(data["p_cap_w"]),
+            allocation=None if allocation is None else Allocation.from_dict(allocation),
+            knobs={
+                name: KnobSetting.from_json(raw)
+                for name, raw in data["knobs"].items()
+            },
+            slots=tuple(
+                TimeSlot(
+                    apps=tuple(slot["apps"]),
+                    duration_s=float(slot["duration_s"]),
+                    knobs={
+                        n: KnobSetting.from_json(k) for n, k in slot["knobs"].items()
+                    },
+                )
+                for slot in data["slots"]
+            ),
+            duty_cycle=None
+            if cycle is None
+            else DutyCycle(
+                off_s=float(cycle["off_s"]),
+                on_s=float(cycle["on_s"]),
+                charge_w=float(cycle["charge_w"]),
+                discharge_w=float(cycle["discharge_w"]),
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class CoordinatorAction:
@@ -172,6 +230,44 @@ class Coordinator:
             return self._step_esd(dt_s)
         # IDLE: stay suspended; deep-sleep to fit under a sub-P_cm cap.
         return CoordinatorAction(deep_sleep=True)
+
+    # ---------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot the adopted plan and execution cursor.
+
+        The ESD controller is snapshotted by the mediator alongside its
+        battery; only its presence is recorded here.
+        """
+        return {
+            "plan": None if self._plan is None else self._plan.to_dict(),
+            "has_esd": self._esd is not None,
+            "slot_index": self._slot_index,
+            "slot_elapsed_s": self._slot_elapsed_s,
+            "esd_on": self._esd_on,
+        }
+
+    def load_state_dict(
+        self, state: dict, *, esd_controller: EsdController | None
+    ) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The plan is installed *without* :meth:`adopt`: adoption actuates
+        knobs and suspends applications, but the knob controller's own
+        snapshot already holds the exact actuation state - re-actuating
+        would fire fault hooks and reset the rotation cursor.
+
+        Args:
+            state: The snapshot.
+            esd_controller: The restored controller when the snapshot had
+                one; its phase machine is restored separately.
+        """
+        plan = state["plan"]
+        self._plan = None if plan is None else AllocationPlan.from_dict(plan)
+        self._esd = esd_controller if state["has_esd"] else None
+        self._slot_index = int(state["slot_index"])
+        self._slot_elapsed_s = float(state["slot_elapsed_s"])
+        self._esd_on = bool(state["esd_on"])
 
     # ------------------------------------------------------------- emergency
 

@@ -26,8 +26,10 @@ MTTR metric aggregates.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.workloads.profiles import WorkloadProfile
 
 
@@ -125,3 +127,42 @@ class RecoveryEvent(Event):
     kind: str
     target: str | None = None
     detail: str = ""
+
+
+#: Every concrete event type, by class name - the tag used on the wire.
+_EVENT_TYPES: dict[str, type[Event]] = {
+    cls.__name__: cls
+    for cls in (
+        CapChangeEvent,
+        ArrivalEvent,
+        DepartureEvent,
+        PhaseChangeEvent,
+        FaultEvent,
+        RecoveryEvent,
+    )
+}
+
+
+def event_to_dict(event: Event) -> dict:
+    """Serialize an event to a JSON-safe dict tagged with its class name."""
+    data = dataclasses.asdict(event)
+    data["type"] = type(event).__name__
+    return data
+
+
+def event_from_dict(data: dict) -> Event:
+    """Inverse of :func:`event_to_dict`.
+
+    Raises:
+        ConfigurationError: for an unknown event type tag.
+    """
+    fields = dict(data)
+    tag = fields.pop("type", None)
+    cls = _EVENT_TYPES.get(tag)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown event type {tag!r}; have {sorted(_EVENT_TYPES)}"
+        )
+    if cls is ArrivalEvent:
+        fields["profile"] = WorkloadProfile.from_dict(fields["profile"])
+    return cls(**fields)

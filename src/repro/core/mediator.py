@@ -56,7 +56,7 @@ from repro.core.resilience import (
 )
 from repro.core.utility import CandidateSet
 from repro.esd.battery import LeadAcidBattery
-from repro.esd.controller import EsdController, compute_duty_cycle
+from repro.esd.controller import DutyCycle, EsdController, compute_duty_cycle
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.learning.collaborative import CollaborativeEstimator
@@ -104,6 +104,76 @@ class TickRecord:
     observed_wall_w: float | None = None
     degraded: bool = False
     breach: bool = False
+
+
+def _tick_record_to_dict(record: TickRecord) -> dict:
+    """JSON form of one timeline sample (checkpoint codec)."""
+    return {
+        "time_s": float(record.time_s),
+        "p_cap_w": float(record.p_cap_w),
+        "wall_w": float(record.wall_w),
+        "mode": record.mode.value,
+        "app_power_w": {name: float(w) for name, w in record.app_power_w.items()},
+        "app_knobs": {name: knob.to_json() for name, knob in record.app_knobs.items()},
+        "progressed": {name: float(w) for name, w in record.progressed.items()},
+        "battery_soc": None if record.battery_soc is None else float(record.battery_soc),
+        "observed_wall_w": (
+            None if record.observed_wall_w is None else float(record.observed_wall_w)
+        ),
+        "degraded": record.degraded,
+        "breach": record.breach,
+    }
+
+
+def _tick_record_from_dict(data: dict) -> TickRecord:
+    """Inverse of :func:`_tick_record_to_dict`."""
+    soc = data["battery_soc"]
+    observed = data["observed_wall_w"]
+    return TickRecord(
+        time_s=float(data["time_s"]),
+        p_cap_w=float(data["p_cap_w"]),
+        wall_w=float(data["wall_w"]),
+        mode=CoordinationMode(data["mode"]),
+        app_power_w={name: float(w) for name, w in data["app_power_w"].items()},
+        app_knobs={
+            name: KnobSetting.from_json(raw) for name, raw in data["app_knobs"].items()
+        },
+        progressed={name: float(w) for name, w in data["progressed"].items()},
+        battery_soc=None if soc is None else float(soc),
+        observed_wall_w=None if observed is None else float(observed),
+        degraded=bool(data["degraded"]),
+        breach=bool(data["breach"]),
+    )
+
+
+def _handle_to_dict(handle: ApplicationHandle) -> dict:
+    """JSON form of a departed application's final handle."""
+    return {
+        "profile": handle.profile.to_dict(),
+        "admitted_at_s": handle.admitted_at_s,
+        "work_done": handle.work_done,
+        "completed": handle.completed,
+        "completed_at_s": handle.completed_at_s,
+        "resume_debt_s": handle.resume_debt_s,
+        "resumes": handle.resumes,
+        "hung": handle.hung,
+    }
+
+
+def _handle_from_dict(name: str, data: dict) -> ApplicationHandle:
+    """Inverse of :func:`_handle_to_dict`."""
+    completed_at = data["completed_at_s"]
+    return ApplicationHandle(
+        name=name,
+        profile=WorkloadProfile.from_dict(data["profile"]),
+        admitted_at_s=float(data["admitted_at_s"]),
+        work_done=float(data["work_done"]),
+        completed=bool(data["completed"]),
+        completed_at_s=None if completed_at is None else float(completed_at),
+        resume_debt_s=float(data["resume_debt_s"]),
+        resumes=int(data["resumes"]),
+        hung=bool(data["hung"]),
+    )
 
 
 @dataclass
@@ -211,6 +281,7 @@ class PowerMediator:
         self._actuation_faulted: set[str] = set()
         self._breach_last_tick = False
         self._last_psys_energy_j = server.rapl.read_energy_j("psys")
+        self._safe_hold_ticks = 0
 
     # ------------------------------------------------------------ accessors
 
@@ -259,6 +330,21 @@ class PowerMediator:
         """Whether the telemetry watchdog currently distrusts the sensor."""
         return self._watchdog.degraded
 
+    @property
+    def dt_s(self) -> float:
+        """Tick length (the supervisor's journal granularity)."""
+        return self._dt_s
+
+    @property
+    def tick_count(self) -> int:
+        """Ticks executed so far (== recorded timeline length)."""
+        return len(self._timeline)
+
+    @property
+    def safe_hold_remaining(self) -> int:
+        """Ticks left in the post-restart guard-banded safe posture."""
+        return self._safe_hold_ticks
+
     def managed_apps(self) -> list[str]:
         """Applications currently under management, sorted."""
         return sorted(self._managed)
@@ -286,6 +372,158 @@ class PowerMediator:
         if app in self._finished:
             return self._finished_peaks[app]
         raise SchedulingError(f"{app!r} is not known to this mediator")
+
+    # ---------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot every piece of mutable mediation state.
+
+        Together with the constructor recipe (server config, policy name,
+        sampler spec, seeds, fault plan - see
+        :mod:`repro.persistence.checkpoint`), this is sufficient to rebuild
+        a mediator that continues the run **bit-identically**: all RNG
+        streams, the event ledger, the coordinator's execution cursor, the
+        battery's charge/fade accounting, and the resilience counters travel
+        in full. Derived artifacts (corpus, trained estimator, population
+        view, fallback policy) are deliberately absent - they are
+        deterministic functions of the recipe and rebuild lazily.
+        """
+        esd = self._coordinator.esd_controller
+        return {
+            "rng": self._rng.bit_generator.state,
+            "server": self._server.state_dict(),
+            "battery": None if self._battery is None else self._battery.state_dict(),
+            "managed": {
+                name: {
+                    "profile": m.profile.to_dict(),
+                    "phased": None
+                    if m.phased is None
+                    else [[t, p.to_dict()] for t, p in m.phased.segments],
+                    "segment": self._segment_index(m),
+                    "arrived_at_s": m.arrived_at_s,
+                    "peak_rate": float(m.peak_rate),
+                }
+                for name, m in self._managed.items()
+            },
+            "finished": {
+                name: _handle_to_dict(handle) for name, handle in self._finished.items()
+            },
+            "finished_peaks": {
+                name: float(rate) for name, rate in self._finished_peaks.items()
+            },
+            "estimates": {name: cs.to_dict() for name, cs in self._estimates.items()},
+            "oracle": {name: cs.to_dict() for name, cs in self._oracle.items()},
+            "timeline": [_tick_record_to_dict(r) for r in self._timeline],
+            "calibration_pending_s": self._calibration_pending_s,
+            "coordinator": self._coordinator.state_dict(),
+            "esd_controller": None if esd is None else esd.state_dict(),
+            "accountant": self._accountant.state_dict(),
+            "watchdog": self._watchdog.state_dict(),
+            "retrier": self._retrier.state_dict(),
+            "fault_stats": self._fault_stats.state_dict(),
+            "injector": None if self._injector is None else self._injector.state_dict(),
+            "actuation_faulted": sorted(self._actuation_faulted),
+            "breach_last_tick": self._breach_last_tick,
+            "last_psys_energy_j": self._last_psys_energy_j,
+            "safe_hold_ticks": self._safe_hold_ticks,
+        }
+
+    @staticmethod
+    def _segment_index(managed: ManagedApp) -> int | None:
+        """Identity index of the current profile among the phased segments.
+
+        ``None`` when the app is not phased *or* when the current profile is
+        the caller's own instance (equal to segment 0 but not yet swapped by
+        :meth:`_check_phase_boundaries`) - the restore keeps the freshly
+        parsed profile distinct in that case, replicating the original
+        identity relations exactly.
+        """
+        if managed.phased is None:
+            return None
+        for i, (_, profile) in enumerate(managed.phased.segments):
+            if profile is managed.profile:
+                return i
+        return None
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The mediator must have been built from the same recipe (same config,
+        policy, seeds, fault plan) and not yet run. Component snapshots are
+        installed without re-running admission, adoption, or calibration -
+        those paths have side effects (placement, actuation, RNG draws) the
+        snapshots already reflect. Afterwards the next :meth:`step` produces
+        the same tick the checkpointed run would have produced.
+        """
+        self._rng.bit_generator.state = state["rng"]
+        self._server.load_state_dict(state["server"])
+        if self._battery is not None and state["battery"] is not None:
+            self._battery.load_state_dict(state["battery"])
+        self._managed = {}
+        for name, fields in state["managed"].items():
+            profile = WorkloadProfile.from_dict(fields["profile"])
+            phased = None
+            if fields["phased"] is not None:
+                phased = PhasedProfile(
+                    [
+                        (float(t), WorkloadProfile.from_dict(p))
+                        for t, p in fields["phased"]
+                    ]
+                )
+                if fields["segment"] is not None:
+                    profile = phased.segments[int(fields["segment"])][1]
+            # Re-link the engine handle to the mediator's instance: phase
+            # boundary detection compares profiles by identity.
+            self._server.handle_of(name).profile = profile
+            self._managed[name] = ManagedApp(
+                profile=profile,
+                phased=phased,
+                arrived_at_s=float(fields["arrived_at_s"]),
+                peak_rate=float(fields["peak_rate"]),
+            )
+        self._finished = {
+            name: _handle_from_dict(name, data)
+            for name, data in state["finished"].items()
+        }
+        self._finished_peaks = {
+            name: float(rate) for name, rate in state["finished_peaks"].items()
+        }
+        self._estimates = {
+            name: CandidateSet.from_dict(data)
+            for name, data in state["estimates"].items()
+        }
+        self._oracle = {
+            name: CandidateSet.from_dict(data) for name, data in state["oracle"].items()
+        }
+        self._timeline = [_tick_record_from_dict(r) for r in state["timeline"]]
+        self._calibration_pending_s = float(state["calibration_pending_s"])
+        esd = None
+        if state["esd_controller"] is not None:
+            assert self._battery is not None
+            cycle = state["esd_controller"]["cycle"]
+            esd = EsdController(
+                self._battery,
+                DutyCycle(
+                    off_s=float(cycle["off_s"]),
+                    on_s=float(cycle["on_s"]),
+                    charge_w=float(cycle["charge_w"]),
+                    discharge_w=float(cycle["discharge_w"]),
+                ),
+            )
+            esd.load_state_dict(state["esd_controller"])
+        self._coordinator.load_state_dict(state["coordinator"], esd_controller=esd)
+        self._accountant.load_state_dict(
+            state["accountant"], plan=self._coordinator.plan
+        )
+        self._watchdog.load_state_dict(state["watchdog"])
+        self._retrier.load_state_dict(state["retrier"])
+        self._fault_stats.load_state_dict(state["fault_stats"])
+        if self._injector is not None and state["injector"] is not None:
+            self._injector.load_state_dict(state["injector"])
+        self._actuation_faulted = set(state["actuation_faulted"])
+        self._breach_last_tick = bool(state["breach_last_tick"])
+        self._last_psys_energy_j = float(state["last_psys_energy_j"])
+        self._safe_hold_ticks = int(state["safe_hold_ticks"])
 
     # ------------------------------------------------------------- messages
 
@@ -401,11 +639,28 @@ class PowerMediator:
         return True
 
     def _effective_cap_w(self) -> float:
-        """The cap planning targets: reduced while telemetry is degraded."""
+        """The cap planning targets: reduced while telemetry is degraded
+        or while a post-restart safe hold is in force."""
         cap = self.p_cap_w
-        if self._watchdog.degraded:
+        if self._watchdog.degraded or self._safe_hold_ticks > 0:
             cap *= 1.0 - self._resilience_cfg.degraded_guard_band
         return cap
+
+    def begin_safe_hold(self, ticks: int) -> None:
+        """Enter the guard-banded safe posture for the next ``ticks`` ticks.
+
+        The supervisor calls this after a warm restart: the mediator was
+        dead for a while, so the first allocations after recovery target the
+        same reduced effective cap degraded telemetry would - covering any
+        drift the checkpoint+journal could not see. A zero or negative count
+        is a no-op (the default posture), keeping restored runs bit-identical
+        to uninterrupted ones unless the caller opts in.
+        """
+        if ticks <= 0:
+            return
+        self._safe_hold_ticks = ticks
+        if self._managed:
+            self.reallocate()  # adopt the guard-banded cap immediately
 
     def _get_fallback_policy(self) -> Policy:
         if self._fallback_policy is None:
@@ -527,6 +782,10 @@ class PowerMediator:
         while self._server.now_s < end - 1e-9:
             self._one_tick()
 
+    def step(self) -> None:
+        """Advance exactly one tick (the supervisor's unit of progress)."""
+        self._one_tick()
+
     def _one_tick(self) -> None:
         dt = self._dt_s
         if self._injector is not None:
@@ -568,6 +827,10 @@ class PowerMediator:
         self._check_phase_boundaries()
         for event in self._accountant.poll(result, telemetry_fresh=fresh):
             self._handle_event(event)
+        if self._safe_hold_ticks > 0:
+            self._safe_hold_ticks -= 1
+            if self._safe_hold_ticks == 0 and self._managed:
+                self.reallocate()  # the hold expired: restore the full cap
 
     # ------------------------------------------------------------- resilience
 

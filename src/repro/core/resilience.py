@@ -135,6 +135,48 @@ class FaultStats:
             return None
         return sum(closed) / len(closed)
 
+    def state_dict(self) -> dict:
+        """Snapshot the full ledger, episode order included."""
+        return {
+            "breach_ticks": self.breach_ticks,
+            "emergency_throttles": self.emergency_throttles,
+            "actuation_retries": self.actuation_retries,
+            "actuation_escalations": self.actuation_escalations,
+            "degraded_ticks": self.degraded_ticks,
+            "dropped_samples": self.dropped_samples,
+            "stale_samples": self.stale_samples,
+            "crashes": self.crashes,
+            "episodes": [
+                {
+                    "kind": ep.kind,
+                    "target": ep.target,
+                    "start_s": ep.start_s,
+                    "end_s": ep.end_s,
+                }
+                for ep in self.episodes
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self.breach_ticks = int(state["breach_ticks"])
+        self.emergency_throttles = int(state["emergency_throttles"])
+        self.actuation_retries = int(state["actuation_retries"])
+        self.actuation_escalations = int(state["actuation_escalations"])
+        self.degraded_ticks = int(state["degraded_ticks"])
+        self.dropped_samples = int(state["dropped_samples"])
+        self.stale_samples = int(state["stale_samples"])
+        self.crashes = int(state["crashes"])
+        self.episodes = [
+            FaultEpisode(
+                kind=ep["kind"],
+                target=ep["target"],
+                start_s=float(ep["start_s"]),
+                end_s=None if ep["end_s"] is None else float(ep["end_s"]),
+            )
+            for ep in state["episodes"]
+        ]
+
 
 class TelemetryWatchdog:
     """Freshness tracker for the mediator's wall-power sensor.
@@ -154,6 +196,20 @@ class TelemetryWatchdog:
     def degraded(self) -> bool:
         """Whether the wall-power feed is currently untrusted."""
         return self._degraded
+
+    def state_dict(self) -> dict:
+        """Snapshot the hysteresis counters and trust state."""
+        return {
+            "consecutive_bad": self._consecutive_bad,
+            "consecutive_good": self._consecutive_good,
+            "degraded": self._degraded,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self._consecutive_bad = int(state["consecutive_bad"])
+        self._consecutive_good = int(state["consecutive_good"])
+        self._degraded = bool(state["degraded"])
 
     def observe(self, fresh: bool) -> str | None:
         """Classify one tick's sample.
@@ -208,6 +264,33 @@ class ActuationRetrier:
     def pending(self) -> dict[str, KnobSetting]:
         """Writes still being retried, by app."""
         return {app: st.desired for app, st in self._pending.items()}
+
+    def state_dict(self) -> dict:
+        """Snapshot the backoff schedule (tick counter included, since the
+        ``next_retry_tick`` deadlines are absolute)."""
+        return {
+            "tick": self._tick,
+            "pending": {
+                app: {
+                    "desired": st.desired.to_json(),
+                    "attempts": st.attempts,
+                    "next_retry_tick": st.next_retry_tick,
+                }
+                for app, st in self._pending.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self._tick = int(state["tick"])
+        self._pending = {
+            app: _RetryState(
+                desired=KnobSetting.from_json(st["desired"]),
+                attempts=int(st["attempts"]),
+                next_retry_tick=int(st["next_retry_tick"]),
+            )
+            for app, st in state["pending"].items()
+        }
 
     def service(self, stats: FaultStats) -> tuple[list[str], list[str]]:
         """Run one tick of the retry loop.

@@ -175,7 +175,23 @@ def run_mix_experiment(
             profile.with_total_work(float("inf")), skip_overhead=True
         )
     mediator.run_for(warmup_s + duration_s)
+    return summarize_mix_run(mediator, apps, warmup_s=warmup_s, mix_id=mix_id)
 
+
+def summarize_mix_run(
+    mediator: PowerMediator,
+    apps: list[WorkloadProfile],
+    *,
+    warmup_s: float,
+    mix_id: int = 0,
+) -> MixExperimentResult:
+    """Summarize a finished mix run into a :class:`MixExperimentResult`.
+
+    Shared by :func:`run_mix_experiment` and the crash-recovery paths
+    (supervised and chaos-soak runs), so an interrupted-and-recovered run is
+    scored by exactly the same arithmetic as an uninterrupted one. Also
+    enforces :func:`verify_cap_invariant`.
+    """
     names = [p.name for p in apps]
     throughput = {
         name: mediator.normalized_throughput(name, since_s=warmup_s) for name in names
@@ -191,8 +207,8 @@ def run_mix_experiment(
     verify_cap_invariant(mediator)
     return MixExperimentResult(
         mix_id=mix_id,
-        policy=policy.name,
-        p_cap_w=p_cap_w,
+        policy=mediator.policy.name,
+        p_cap_w=mediator.p_cap_w,
         normalized_throughput=throughput,
         power_share=shares,
         server_throughput=sum(throughput.values()),

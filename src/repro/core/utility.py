@@ -105,6 +105,31 @@ class CandidateSet:
             perf_nocap=nocap,
         )
 
+    def to_dict(self) -> dict:
+        """JSON-safe form, used by checkpoints.
+
+        Knobs are listed explicitly (not assumed to be the full knob space)
+        so subset sets - narrow core groups, throttle paths - round-trip.
+        """
+        return {
+            "app": self.app,
+            "knobs": [knob.to_json() for knob in self.knobs],
+            "power_w": [float(p) for p in self.power_w],
+            "perf": [float(p) for p in self.perf],
+            "perf_nocap": float(self.perf_nocap),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CandidateSet":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            app=data["app"],
+            knobs=tuple(KnobSetting.from_json(raw) for raw in data["knobs"]),
+            power_w=np.asarray(data["power_w"], dtype=float),
+            perf=np.asarray(data["perf"], dtype=float),
+            perf_nocap=float(data["perf_nocap"]),
+        )
+
     @property
     def min_power_w(self) -> float:
         """The cheapest runnable configuration's power."""

@@ -91,3 +91,35 @@ class TelemetryError(ReproError):
     the watchdog for an observation when every recent sample was dropped and
     no model-predicted fallback was configured.
     """
+
+
+class PersistenceError(ReproError):
+    """Checkpoint/journal state could not be saved or restored.
+
+    The message is always a single line naming what failed and where
+    (schema version mismatch, offending field path, torn record index), so
+    a CLI can surface it verbatim instead of a traceback.
+    """
+
+
+class CheckpointError(PersistenceError):
+    """A checkpoint file is unreadable, corrupt, or version-incompatible."""
+
+
+class JournalError(PersistenceError):
+    """A write-ahead journal is corrupt beyond the torn-tail recovery rule.
+
+    A malformed *final* record is expected after a crash (the torn tail) and
+    silently dropped; a malformed record in the journal's interior means the
+    file was damaged, and replaying past it would diverge from the run it
+    records.
+    """
+
+
+class ChaosError(ReproError):
+    """A chaos-soak run violated a recovery invariant.
+
+    Raised when a kill/restart schedule produces a sustained cap breach, a
+    non-conserved battery ledger, or a final utility outside the configured
+    tolerance of the uninterrupted baseline.
+    """

@@ -168,6 +168,49 @@ class LeadAcidBattery:
             ),
         )
 
+    # ------------------------------------------------------------ persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot every mutable field for checkpointing.
+
+        Captures fade (capacity and reserve shrink over a battery's life) and
+        derating alongside the SoC and lifetime counters, so a restored
+        battery is physically identical, not just equally charged.
+        """
+        return {
+            "capacity_j": self._capacity_j,
+            "efficiency": self._efficiency,
+            "max_charge_w": self._max_charge_w,
+            "max_discharge_w": self._max_discharge_w,
+            "reserve_j": self._reserve_j,
+            "stored_j": self._stored_j,
+            "total_charged_j": self._total_charged_j,
+            "total_stored_j": self._total_stored_j,
+            "total_discharged_j": self._total_discharged_j,
+            "nameplate_discharge_w": self._nameplate_discharge_w,
+            "available": self._available,
+            "total_faded_j": self._total_faded_j,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Fields are assigned directly (no re-derivation from fractions) so the
+        restored floats are bit-identical to the checkpointed ones.
+        """
+        self._capacity_j = float(state["capacity_j"])
+        self._efficiency = float(state["efficiency"])
+        self._max_charge_w = float(state["max_charge_w"])
+        self._max_discharge_w = float(state["max_discharge_w"])
+        self._reserve_j = float(state["reserve_j"])
+        self._stored_j = float(state["stored_j"])
+        self._total_charged_j = float(state["total_charged_j"])
+        self._total_stored_j = float(state["total_stored_j"])
+        self._total_discharged_j = float(state["total_discharged_j"])
+        self._nameplate_discharge_w = float(state["nameplate_discharge_w"])
+        self._available = bool(state["available"])
+        self._total_faded_j = float(state["total_faded_j"])
+
     # ------------------------------------------------------------ fault model
 
     def set_available(self, available: bool) -> None:

@@ -184,6 +184,36 @@ class EsdController:
         self._phase = Phase.OFF if cycle.off_s > 0 else Phase.ON
         self._phase_elapsed_s = 0.0
 
+    def state_dict(self) -> dict:
+        """Snapshot the schedule and phase machine for checkpointing."""
+        return {
+            "cycle": {
+                "off_s": self._cycle.off_s,
+                "on_s": self._cycle.on_s,
+                "charge_w": self._cycle.charge_w,
+                "discharge_w": self._cycle.discharge_w,
+            },
+            "phase": self._phase.value,
+            "phase_elapsed_s": self._phase_elapsed_s,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        The phase is written directly rather than via :meth:`replace_cycle`,
+        which would restart the machine in OFF regardless of where the
+        checkpointed run actually was within its period.
+        """
+        cycle = state["cycle"]
+        self._cycle = DutyCycle(
+            off_s=float(cycle["off_s"]),
+            on_s=float(cycle["on_s"]),
+            charge_w=float(cycle["charge_w"]),
+            discharge_w=float(cycle["discharge_w"]),
+        )
+        self._phase = Phase(state["phase"])
+        self._phase_elapsed_s = float(state["phase_elapsed_s"])
+
     def begin_tick(self, dt_s: float) -> Phase:
         """Advance the phase machine; returns the phase for this tick.
 

@@ -92,6 +92,49 @@ class FaultInjector:
         """Whether any telemetry fault window is open right now."""
         return "telemetry" in self.active_kinds()
 
+    # ------------------------------------------------------------ persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot the injector's progress through its plan.
+
+        Specs are referenced by their index into ``plan.specs`` (the plan
+        itself travels in the checkpoint's recipe), so the snapshot stays
+        small and the restored injector points at the same frozen specs.
+        """
+        return {
+            "active": sorted(self._active),
+            "fired": sorted(self._fired),
+            "resolved_targets": {
+                str(idx): name for idx, name in self._resolved_targets.items()
+            },
+            "pre_fault_knobs": {
+                app: knob.to_json() for app, knob in self._pre_fault_knobs.items()
+            },
+            "last_wall_sample_w": self._last_wall_sample_w,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Re-installs the knob-controller hooks to match the restored active
+        windows - hooks are closures and cannot be serialized, but they are
+        pure functions of the active fault set.
+        """
+        self._active = {int(idx): self._plan.specs[int(idx)] for idx in state["active"]}
+        self._fired = {int(idx) for idx in state["fired"]}
+        self._resolved_targets = {
+            int(idx): name for idx, name in state["resolved_targets"].items()
+        }
+        self._pre_fault_knobs = {
+            app: KnobSetting.from_json(raw)
+            for app, raw in state["pre_fault_knobs"].items()
+        }
+        last = state["last_wall_sample_w"]
+        self._last_wall_sample_w = None if last is None else float(last)
+        self._rng.bit_generator.state = state["rng"]
+        self._sync_hooks()
+
     # ---------------------------------------------------------------- ticking
 
     def begin_tick(self, now_s: float) -> tuple[list[str], list[FaultTransition]]:

@@ -38,6 +38,11 @@ import json
 from dataclasses import dataclass, field
 
 from repro.errors import FaultError
+from repro.schema import Validator
+
+#: Validator used by every fault-plan loader: malformed input fails with a
+#: single :class:`FaultError` naming the offending JSON path.
+_VALID = Validator(FaultError)
 
 #: Allowed (kind, mode) combinations, mirroring the table above.
 FAULT_MODES: dict[str, tuple[str, ...]] = {
@@ -124,18 +129,45 @@ class FaultSpec:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultSpec":
+    def from_dict(cls, data: dict, *, where: str = "fault spec") -> "FaultSpec":
+        """Build a spec from a plain dict, validating field by field.
+
+        Args:
+            data: The raw mapping, e.g. one entry of a plan's ``faults``.
+            where: JSON path prefix used in error messages, so a bad field in
+                the third fault of a plan reports as ``faults[2].start_s``.
+        """
+        obj = _VALID.as_dict(data, where)
+        kind = _VALID.choice(
+            _VALID.require(obj, "kind", where), f"{where}.kind", tuple(FAULT_MODES)
+        )
+        mode = _VALID.choice(
+            _VALID.require(obj, "mode", where), f"{where}.mode", FAULT_MODES[kind]
+        )
+        target = obj.get("target")
+        if target is not None:
+            target = _VALID.as_str(target, f"{where}.target")
         try:
             return cls(
-                kind=data["kind"],
-                mode=data["mode"],
-                start_s=float(data["start_s"]),
-                duration_s=float(data.get("duration_s", 0.0)),
-                target=data.get("target"),
-                magnitude=float(data.get("magnitude", 0.0)),
+                kind=kind,
+                mode=mode,
+                start_s=_VALID.as_number(
+                    _VALID.require(obj, "start_s", where), f"{where}.start_s"
+                ),
+                duration_s=_VALID.as_number(
+                    obj.get("duration_s", 0.0), f"{where}.duration_s"
+                ),
+                target=target,
+                magnitude=_VALID.as_number(
+                    obj.get("magnitude", 0.0), f"{where}.magnitude"
+                ),
             )
-        except KeyError as exc:
-            raise FaultError(f"fault spec missing field {exc}") from None
+        except FaultError as exc:
+            # Semantic checks in __post_init__ do not know the JSON path; add it.
+            message = str(exc)
+            if not message.startswith(where):
+                raise FaultError(f"{where}: {message}") from None
+            raise
 
 
 @dataclass(frozen=True)
@@ -178,10 +210,13 @@ class FaultPlan:
             data = json.loads(text)
         except json.JSONDecodeError as exc:
             raise FaultError(f"fault plan is not valid JSON: {exc}") from None
-        if not isinstance(data, dict) or "faults" not in data:
-            raise FaultError('fault plan JSON must be {"seed": ..., "faults": [...]}')
-        specs = tuple(FaultSpec.from_dict(item) for item in data["faults"])
-        return cls(specs=specs, seed=int(data.get("seed", 0)))
+        obj = _VALID.as_dict(data, "fault plan")
+        items = _VALID.as_list(_VALID.require(obj, "faults", "fault plan"), "faults")
+        specs = tuple(
+            FaultSpec.from_dict(item, where=f"faults[{i}]")
+            for i, item in enumerate(items)
+        )
+        return cls(specs=specs, seed=_VALID.as_int(obj.get("seed", 0), "seed"))
 
     @classmethod
     def load(cls, path: str) -> "FaultPlan":

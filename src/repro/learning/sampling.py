@@ -44,6 +44,60 @@ class Sampler(abc.ABC):
         return max(1, int(round(fraction * len(config.knob_space()))))
 
 
+def sampler_spec(sampler: Sampler) -> dict:
+    """Describe a sampler as a plain dict (for checkpoint recipes).
+
+    Samplers are stateless between :meth:`Sampler.select` calls - each call
+    builds a fresh RNG from the stored seed - so type + constructor
+    arguments reproduce one exactly.
+
+    Raises:
+        ConfigurationError: for a sampler type this module does not know.
+    """
+    if isinstance(sampler, AdaptiveSampler):
+        return {
+            "type": "adaptive",
+            "fraction": sampler.fraction,
+            "seed": sampler._seed,  # noqa: SLF001 - sibling access
+            "bootstrap_fraction": sampler._bootstrap_fraction,  # noqa: SLF001
+        }
+    if isinstance(sampler, StratifiedSampler):
+        return {
+            "type": "stratified",
+            "fraction": sampler.fraction,
+            "seed": sampler._seed,  # noqa: SLF001
+        }
+    if isinstance(sampler, RandomSampler):
+        return {
+            "type": "random",
+            "fraction": sampler.fraction,
+            "seed": sampler._seed,  # noqa: SLF001
+        }
+    raise ConfigurationError(
+        f"cannot serialize sampler of type {type(sampler).__name__}"
+    )
+
+
+def sampler_from_spec(spec: dict) -> Sampler:
+    """Inverse of :func:`sampler_spec`.
+
+    Raises:
+        ConfigurationError: for an unknown sampler type tag.
+    """
+    kind = spec.get("type")
+    fraction = float(spec["fraction"])
+    seed = int(spec["seed"])
+    if kind == "adaptive":
+        return AdaptiveSampler(
+            fraction, seed=seed, bootstrap_fraction=float(spec["bootstrap_fraction"])
+        )
+    if kind == "stratified":
+        return StratifiedSampler(fraction, seed=seed)
+    if kind == "random":
+        return RandomSampler(fraction, seed=seed)
+    raise ConfigurationError(f"unknown sampler type {kind!r} in spec")
+
+
 class RandomSampler(Sampler):
     """Uniform sampling without replacement.
 

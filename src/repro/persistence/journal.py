@@ -1,0 +1,309 @@
+"""Write-ahead event journal: append-only JSONL with a torn-tail rule.
+
+The journal is the fine-grained complement to checkpoints: checkpoints are
+heavyweight and periodic, the journal records every unit of progress between
+them. One record per line, each a JSON object with a strictly increasing
+``seq`` and an ``op``:
+
+========== ===========================================================
+op          meaning / durability
+========== ===========================================================
+meta        run header (schema stamp, version, tick length); fsynced
+command     a script command *about to execute* (write-ahead); fsynced
+            before the command runs, so a command is never half-known
+tick        one mediator tick completed; fsynced in batches of
+            ``fsync_every_ticks`` (ticks are deterministic, so losing
+            the un-synced tail only costs re-execution, never truth)
+checkpoint  a checkpoint landed; carries the file name plus the resume
+            position (script index, current advance deadline); fsynced
+========== ===========================================================
+
+**Torn-tail rule** (see :class:`~repro.errors.JournalError`): a crash can
+tear the final line mid-write. :func:`read_journal` silently drops a
+malformed *final* record - that data was never durable - but refuses a
+malformed record anywhere in the interior, because replaying past a damaged
+middle would diverge from the run the journal records.
+
+Commands are journaled *before* execution (classic WAL discipline). Replay
+is therefore idempotent by construction: a command that crashed mid-flight
+re-executes against the pre-command state restored from the checkpoint, and
+a command that completed is either covered by a later checkpoint (not
+replayed) or re-executed deterministically from the same state as the first
+time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.schema import Validator
+
+#: Schema stamp written into the journal's meta record.
+JOURNAL_SCHEMA = "repro-journal"
+
+#: Current journal format version; bump on incompatible record changes.
+JOURNAL_VERSION = 1
+
+_VALID = Validator(JournalError)
+
+_KNOWN_OPS = ("meta", "command", "tick", "checkpoint")
+
+
+class JournalWriter:
+    """Appends records to one journal file with explicit durability points.
+
+    Args:
+        path: Journal file; created (with parents) if missing, appended to
+            if present (warm restart continues the same file).
+        fsync_every_ticks: Tick records between fsyncs. Commands, meta and
+            checkpoint markers always fsync immediately.
+        start_seq: First sequence number to assign; a recovering supervisor
+            passes ``last durable seq + 1`` so the ordering survives the
+            restart.
+
+    Raises:
+        JournalError: for a non-positive ``fsync_every_ticks`` or an
+            unwritable path.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync_every_ticks: int = 25,
+        start_seq: int = 0,
+    ) -> None:
+        if fsync_every_ticks < 1:
+            raise JournalError(
+                f"fsync_every_ticks must be at least 1, got {fsync_every_ticks}"
+            )
+        self._path = Path(path)
+        self._fsync_every_ticks = fsync_every_ticks
+        self._seq = start_seq
+        self._unsynced_ticks = 0
+        try:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self._path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self._path}: {exc}") from None
+        self._durable_offset = self._file.tell()
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next record will carry."""
+        return self._seq
+
+    @property
+    def durable_offset(self) -> int:
+        """File offset up to which records have been fsynced.
+
+        Everything before this offset survives any crash; everything after
+        it is the at-risk tail a crash may tear (the chaos harness uses this
+        to keep simulated tears honest).
+        """
+        return self._durable_offset
+
+    # ------------------------------------------------------------- appends
+
+    def append_meta(self, *, dt_s: float) -> None:
+        """Write the run header (always the first record)."""
+        self._append(
+            {
+                "op": "meta",
+                "schema": JOURNAL_SCHEMA,
+                "version": JOURNAL_VERSION,
+                "dt_s": dt_s,
+            },
+            durable=True,
+        )
+
+    def append_command(self, index: int, command: dict) -> None:
+        """Write-ahead record of script command ``index`` about to run."""
+        self._append({"op": "command", "index": index, "command": command}, durable=True)
+
+    def append_tick(self, tick: int) -> None:
+        """Record one completed mediator tick (batched durability)."""
+        self._unsynced_ticks += 1
+        self._append(
+            {"op": "tick", "tick": tick},
+            durable=self._unsynced_ticks >= self._fsync_every_ticks,
+        )
+
+    def append_checkpoint(
+        self, *, tick: int, path: str, command: int, end_s: float | None
+    ) -> None:
+        """Record a landed checkpoint plus the position to resume from.
+
+        Args:
+            tick: Mediator tick the checkpoint captured.
+            path: Checkpoint file name (relative to the journal's directory).
+            command: Script index execution stands at.
+            end_s: Deadline of the in-progress ``Advance``, or ``None``
+                between commands.
+        """
+        self._append(
+            {
+                "op": "checkpoint",
+                "tick": tick,
+                "path": path,
+                "command": command,
+                "end_s": end_s,
+            },
+            durable=True,
+        )
+
+    def _append(self, record: dict, *, durable: bool) -> None:
+        if self._closed:
+            raise JournalError(f"journal {self._path} is closed")
+        record = {"seq": self._seq, **record}
+        try:
+            self._file.write(json.dumps(record) + "\n")
+            if durable:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._durable_offset = self._file.tell()
+                self._unsynced_ticks = 0
+        except OSError as exc:
+            raise JournalError(f"cannot append to journal {self._path}: {exc}") from None
+        self._seq += 1
+
+    def abort(self) -> None:
+        """Close as a crash would: nothing new becomes durable. Idempotent.
+
+        Buffered records still reach the file (so a simulated tear can
+        choose how much of the tail to destroy), but ``durable_offset``
+        stays where the last fsync left it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+        except OSError:
+            pass
+        self._file.close()
+
+    def close(self) -> None:
+        """Flush, fsync and close. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._durable_offset = self._file.tell()
+        except OSError:
+            pass
+        self._file.close()
+
+
+def repair_torn_tail(path: str | Path) -> bool:
+    """Trim a torn final record off a journal, in place.
+
+    Recovery must do this before re-opening the journal for append:
+    otherwise the first post-recovery record would concatenate onto the torn
+    fragment and corrupt the journal's interior. Returns whether anything
+    was trimmed.
+
+    Raises:
+        JournalError: if the file cannot be read or truncated.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from None
+    if not data:
+        return False
+    torn = not data.endswith(b"\n")
+    if not torn:
+        last_line = data.rstrip(b"\n").rsplit(b"\n", 1)[-1]
+        try:
+            json.loads(last_line)
+        except ValueError:
+            torn = True
+    if not torn:
+        return False
+    body = data.rstrip(b"\n") if data.endswith(b"\n") else data
+    cut = body.rfind(b"\n")
+    keep = cut + 1 if cut >= 0 else 0
+    try:
+        os.truncate(path, keep)
+    except OSError as exc:
+        raise JournalError(f"cannot repair journal {path}: {exc}") from None
+    return True
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Read every durable record, applying the torn-tail rule.
+
+    Returns:
+        The validated records in order. A malformed final line is dropped
+        (it was torn by a crash before reaching disk in full).
+
+    Raises:
+        JournalError: for an unreadable file, a malformed record in the
+            journal's interior, an unknown ``op``, or a sequence-number
+            ordering violation.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from None
+    lines = text.split("\n")
+    while lines and lines[-1] == "":
+        lines.pop()
+    records: list[dict] = []
+    last_seq: int | None = None
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                break  # torn tail: the crash interrupted this write
+            raise JournalError(
+                f"{path}:{lineno}: malformed record in the journal interior "
+                "(only the final record may be torn)"
+            ) from None
+        where = f"journal[{lineno}]"
+        obj = _VALID.as_dict(raw, where)
+        seq = _VALID.as_int(_VALID.require(obj, "seq", where), f"{where}.seq")
+        op = _VALID.choice(_VALID.require(obj, "op", where), f"{where}.op", _KNOWN_OPS)
+        if last_seq is not None and seq <= last_seq:
+            raise JournalError(
+                f"{path}:{lineno}: sequence number {seq} does not increase "
+                f"past {last_seq}"
+            )
+        last_seq = seq
+        if op == "meta":
+            version = _VALID.as_int(
+                _VALID.require(obj, "version", where), f"{where}.version"
+            )
+            if version != JOURNAL_VERSION:
+                raise JournalError(
+                    f"{path}:{lineno}: journal version {version} is not supported "
+                    f"(this build reads version {JOURNAL_VERSION})"
+                )
+        elif op == "command":
+            _VALID.as_int(_VALID.require(obj, "index", where), f"{where}.index")
+            _VALID.as_dict(_VALID.require(obj, "command", where), f"{where}.command")
+        elif op == "tick":
+            _VALID.as_int(_VALID.require(obj, "tick", where), f"{where}.tick")
+        else:  # checkpoint
+            _VALID.as_int(_VALID.require(obj, "tick", where), f"{where}.tick")
+            _VALID.as_str(_VALID.require(obj, "path", where), f"{where}.path")
+            _VALID.as_int(_VALID.require(obj, "command", where), f"{where}.command")
+            end_s = _VALID.require(obj, "end_s", where)
+            if end_s is not None:
+                _VALID.as_number(end_s, f"{where}.end_s")
+        records.append(obj)
+    return records

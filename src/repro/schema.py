@@ -1,0 +1,94 @@
+"""Path-tracking validation helpers for JSON documents.
+
+Every loader in the package that accepts external JSON (fault plans,
+checkpoints, journals) funnels raw values through a :class:`Validator` bound
+to the subsystem's exception class. Instead of a raw ``KeyError`` or
+``TypeError`` deep inside a constructor, malformed input produces a single
+line naming the offending field by its JSON path::
+
+    faults[2].start_s: expected a number, got 'abc'
+
+The helpers deliberately mirror the handful of shapes JSON can express
+(object, array, string, number, integer, boolean) rather than a full schema
+language - the documents involved are small and hand-checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, NoReturn
+
+from repro.errors import ReproError
+
+__all__ = ["Validator"]
+
+
+def _describe(value: Any) -> str:
+    """A short, human-oriented description of a bad value."""
+    if isinstance(value, bool):
+        return f"boolean {value}"
+    if value is None:
+        return "null"
+    if isinstance(value, (dict, list)):
+        return f"a {type(value).__name__} of length {len(value)}"
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class Validator:
+    """Validation helpers that raise ``error`` with a JSON-path message.
+
+    Attributes:
+        error: The :class:`~repro.errors.ReproError` subclass to raise; each
+            loader binds its own (``FaultError`` for fault plans,
+            ``CheckpointError`` for checkpoints, and so on).
+    """
+
+    error: type[ReproError]
+
+    def fail(self, path: str, message: str) -> NoReturn:
+        """Raise the bound error with a ``path: message`` one-liner."""
+        raise self.error(f"{path}: {message}")
+
+    def as_dict(self, value: Any, path: str) -> dict[str, Any]:
+        if not isinstance(value, dict):
+            self.fail(path, f"expected an object, got {_describe(value)}")
+        return value
+
+    def as_list(self, value: Any, path: str) -> list[Any]:
+        if not isinstance(value, list):
+            self.fail(path, f"expected an array, got {_describe(value)}")
+        return value
+
+    def as_str(self, value: Any, path: str) -> str:
+        if not isinstance(value, str):
+            self.fail(path, f"expected a string, got {_describe(value)}")
+        return value
+
+    def as_number(self, value: Any, path: str) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            self.fail(path, f"expected a number, got {_describe(value)}")
+        return float(value)
+
+    def as_int(self, value: Any, path: str) -> int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            self.fail(path, f"expected an integer, got {_describe(value)}")
+        return value
+
+    def as_bool(self, value: Any, path: str) -> bool:
+        if not isinstance(value, bool):
+            self.fail(path, f"expected a boolean, got {_describe(value)}")
+        return value
+
+    def require(self, mapping: dict[str, Any], key: str, path: str) -> Any:
+        """Fetch a required key, failing with the full path when missing."""
+        if key not in mapping:
+            self.fail(f"{path}.{key}" if path else key, "required field is missing")
+        return mapping[key]
+
+    def choice(self, value: Any, path: str, allowed: tuple[str, ...]) -> str:
+        """A string constrained to an enumerated set."""
+        text = self.as_str(value, path)
+        if text not in allowed:
+            self.fail(path, f"expected one of {list(allowed)}, got {text!r}")
+        return text

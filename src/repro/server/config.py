@@ -55,6 +55,16 @@ class KnobSetting:
     def __str__(self) -> str:
         return f"(f={self.freq_ghz:.1f}GHz, n={self.cores}, m={self.dram_power_w:.0f}W)"
 
+    def to_json(self) -> list:
+        """The compact ``[f, n, m]`` form used by checkpoints and journals."""
+        return [self.freq_ghz, self.cores, self.dram_power_w]
+
+    @classmethod
+    def from_json(cls, data: list) -> "KnobSetting":
+        """Inverse of :meth:`to_json`."""
+        f, n, m = data
+        return cls(freq_ghz=float(f), cores=int(n), dram_power_w=float(m))
+
 
 @dataclass(frozen=True)
 class ServerConfig:

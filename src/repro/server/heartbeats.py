@@ -90,6 +90,40 @@ class HeartbeatMonitor:
         """Currently tracked application names, sorted."""
         return sorted(self._histories)
 
+    # ----------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot registrations, windows, totals, and the noise RNG."""
+        return {
+            "histories": {
+                app: [[rec.time_s, rec.beats] for rec in history]
+                for app, history in self._histories.items()
+            },
+            "totals": dict(self._totals),
+            "blackout": self._blackout,
+            "frozen_rates": dict(self._frozen_rates),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Replaces the full registration set: apps present only in the
+        snapshot are (re-)registered, apps missing from it are dropped.
+        """
+        self._histories = {
+            app: deque(
+                HeartbeatRecord(time_s=float(t), beats=float(b)) for t, b in window
+            )
+            for app, window in state["histories"].items()
+        }
+        self._totals = {app: float(v) for app, v in state["totals"].items()}
+        self._blackout = bool(state["blackout"])
+        self._frozen_rates = {
+            app: float(v) for app, v in state["frozen_rates"].items()
+        }
+        self._rng.bit_generator.state = state["rng"]
+
     # ----------------------------------------------------------- engine side
 
     def emit(self, app: str, time_s: float, beats: float) -> None:

@@ -146,6 +146,44 @@ class KnobController:
         """Names under control, sorted."""
         return sorted(self._states)
 
+    # ---------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot per-app control state and the failed-write registry.
+
+        Fault hooks are *not* captured - they are closures owned by the
+        fault injector, which reinstalls them after its own restore.
+        """
+        return {
+            "states": {
+                app: {"knob": state.knob.to_json(), "suspended": state.suspended}
+                for app, state in self._states.items()
+            },
+            "failed_writes": {
+                app: knob.to_json() for app, knob in self._failed_writes.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Settings are written directly, bypassing :meth:`set_knob`: actuation
+        hooks must not fire during a restore, and the DRAM RAPL limits are
+        restored verbatim by the RAPL interface's own snapshot rather than
+        re-derived here.
+        """
+        self._states = {
+            app: AppControlState(
+                knob=KnobSetting.from_json(fields["knob"]),
+                suspended=bool(fields["suspended"]),
+            )
+            for app, fields in state["states"].items()
+        }
+        self._failed_writes = {
+            app: KnobSetting.from_json(raw)
+            for app, raw in state["failed_writes"].items()
+        }
+
     # ------------------------------------------------------------ actuation
 
     def set_knob(self, app: str, knob: KnobSetting) -> bool:

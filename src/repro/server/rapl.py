@@ -142,6 +142,37 @@ class RaplInterface:
                 f"unknown RAPL domain {name!r}; have {self.domain_names}"
             ) from None
 
+    # ----------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot every domain plus the noise RNG for checkpointing.
+
+        The RNG state (``numpy`` bit-generator dict) is included so noisy
+        power readings after a restore draw the exact values the
+        uninterrupted run would have drawn.
+        """
+        return {
+            "domains": {
+                name: {
+                    "energy_j": dom.energy_j,
+                    "power_limit_w": dom.power_limit_w,
+                    "last_power_w": dom.last_power_w,
+                }
+                for name, dom in self._domains.items()
+            },
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        for name, fields in state["domains"].items():
+            dom = self.domain(name)
+            dom.energy_j = float(fields["energy_j"])
+            limit = fields["power_limit_w"]
+            dom.power_limit_w = None if limit is None else float(limit)
+            dom.last_power_w = float(fields["last_power_w"])
+        self._rng.bit_generator.state = state["rng"]
+
     # ----------------------------------------------------------- engine side
 
     def advance(self, powers_w: dict[str, float], dt_s: float) -> None:

@@ -168,6 +168,68 @@ class SimulatedServer:
         """Current simulation time (seconds since construction)."""
         return self._now_s
 
+    # ---------------------------------------------------------- persistence
+
+    def state_dict(self) -> dict:
+        """Snapshot the whole substrate for checkpointing.
+
+        Composes the per-component snapshots (topology, RAPL, heartbeats,
+        sleep, knobs) with the engine's own lifecycle records and clock. The
+        models (:class:`PowerModel`, :class:`PerformanceModel`) are pure
+        functions of the config and carry no state.
+        """
+        return {
+            "now_s": self._now_s,
+            "handles": {
+                name: {
+                    "profile": handle.profile.to_dict(),
+                    "admitted_at_s": handle.admitted_at_s,
+                    "work_done": handle.work_done,
+                    "completed": handle.completed,
+                    "completed_at_s": handle.completed_at_s,
+                    "resume_debt_s": handle.resume_debt_s,
+                    "resumes": handle.resumes,
+                    "hung": handle.hung,
+                }
+                for name, handle in self._handles.items()
+            },
+            "topology": self._topology.state_dict(),
+            "rapl": self._rapl.state_dict(),
+            "heartbeats": self._heartbeats.state_dict(),
+            "sleep": self._sleep.state_dict(),
+            "knobs": self._knobs.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Handles are rebuilt rather than re-admitted - admission has placement
+        side effects (socket choice, initial knobs, heartbeat registration)
+        that the component snapshots already capture verbatim. Callers that
+        track phased profiles must re-link ``handle.profile`` to their own
+        segment instances afterwards (see the mediator's restore).
+        """
+        self._now_s = float(state["now_s"])
+        self._handles = {}
+        for name, fields in state["handles"].items():
+            completed_at = fields["completed_at_s"]
+            self._handles[name] = ApplicationHandle(
+                name=name,
+                profile=WorkloadProfile.from_dict(fields["profile"]),
+                admitted_at_s=float(fields["admitted_at_s"]),
+                work_done=float(fields["work_done"]),
+                completed=bool(fields["completed"]),
+                completed_at_s=None if completed_at is None else float(completed_at),
+                resume_debt_s=float(fields["resume_debt_s"]),
+                resumes=int(fields["resumes"]),
+                hung=bool(fields["hung"]),
+            )
+        self._topology.load_state_dict(state["topology"])
+        self._rapl.load_state_dict(state["rapl"])
+        self._heartbeats.load_state_dict(state["heartbeats"])
+        self._sleep.load_state_dict(state["sleep"])
+        self._knobs.load_state_dict(state["knobs"])
+
     # ------------------------------------------------------------ lifecycle
 
     def admit(

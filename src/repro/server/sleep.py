@@ -75,6 +75,24 @@ class SleepController:
         """Cumulative work time lost to PC6 wake-ups."""
         return self._total_wake_penalty_s
 
+    def state_dict(self) -> dict:
+        """Snapshot the sleep state machine for checkpointing."""
+        return {
+            "state": self._state.value,
+            "pending_wake_penalty_s": self._pending_wake_penalty_s,
+            "total_wake_penalty_s": self._total_wake_penalty_s,
+            "pc6_entries": self._pc6_entries,
+            "time_in_pc6_s": self._time_in_pc6_s,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self._state = SleepState(state["state"])
+        self._pending_wake_penalty_s = float(state["pending_wake_penalty_s"])
+        self._total_wake_penalty_s = float(state["total_wake_penalty_s"])
+        self._pc6_entries = int(state["pc6_entries"])
+        self._time_in_pc6_s = float(state["time_in_pc6_s"])
+
     def enter_pc6(self, runnable_apps: int) -> None:
         """Put all sockets into PC6.
 

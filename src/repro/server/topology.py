@@ -69,6 +69,37 @@ class ServerTopology:
         """Live view of current reservations, keyed by application name."""
         return dict(self._groups)
 
+    def state_dict(self) -> dict:
+        """Snapshot every reservation for checkpointing."""
+        return {
+            "groups": {
+                name: {
+                    "socket": group.socket,
+                    "cores": list(group.cores),
+                    "dedicated_dimm": group.dedicated_dimm,
+                }
+                for name, group in self._groups.items()
+            }
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Groups are rebuilt directly rather than re-admitted: the placement
+        policy picks sockets by *current* free-core counts, so replaying
+        admissions in dictionary order could place an app on a different
+        socket than the original arrival order did.
+        """
+        self._groups = {
+            name: CoreGroup(
+                app=name,
+                socket=int(fields["socket"]),
+                cores=tuple(int(c) for c in fields["cores"]),
+                dedicated_dimm=bool(fields["dedicated_dimm"]),
+            )
+            for name, fields in state["groups"].items()
+        }
+
     def free_cores_on_socket(self, socket: int) -> list[int]:
         """Global core ids on ``socket`` not reserved by any group."""
         if not 0 <= socket < self._config.sockets:

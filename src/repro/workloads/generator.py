@@ -183,6 +183,17 @@ class PhasedProfile:
     def segment_count(self) -> int:
         return len(self._profiles)
 
+    @property
+    def segments(self) -> list[tuple[float, WorkloadProfile]]:
+        """The ``(threshold, profile)`` pairs this profile was built from.
+
+        The profile objects are the stored instances, not copies:
+        :meth:`phase_boundary_crossed` compares segments by identity, so a
+        consumer restoring state from a serialized form must re-link its
+        references to these exact objects.
+        """
+        return list(zip(self._thresholds, self._profiles))
+
     def profile_at(self, progress_fraction: float) -> WorkloadProfile:
         """The profile in force at ``progress_fraction`` of total work."""
         if not 0.0 <= progress_fraction <= 1.0:

@@ -1,8 +1,38 @@
-"""Shared fixtures: the default server, models, and catalog profiles."""
+"""Shared fixtures: the default server, models, and catalog profiles.
+
+Also provides a SIGALRM-based per-test timeout fallback for environments
+without ``pytest-timeout`` (CI installs the real plugin and passes
+``--timeout``; the fallback keeps a hung mediator from wedging a local run).
+"""
 
 from __future__ import annotations
 
+import importlib.util
+import signal
+
 import pytest
+
+_HAS_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+_FALLBACK_TIMEOUT_S = 120
+
+
+if not _HAS_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        limit = int(marker.args[0]) if marker and marker.args else _FALLBACK_TIMEOUT_S
+
+        def _expired(signum, frame):
+            raise TimeoutError(f"test exceeded the {limit} s fallback timeout")
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.alarm(limit)
+        try:
+            return (yield)
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.server.config import ServerConfig
 from repro.server.perf_model import PerformanceModel
