@@ -19,7 +19,7 @@ CAP_W = 80.0
 MIX_ID = 10
 
 
-def run_with_battery(config, **battery_kwargs):
+def run_with_battery(config, sink=None, **battery_kwargs):
     params = dict(
         capacity_j=300_000.0,
         efficiency=0.70,
@@ -39,10 +39,12 @@ def run_with_battery(config, **battery_kwargs):
         battery=LeadAcidBattery(**params),
         use_oracle_estimates=True,
     )
+    if sink is not None:
+        sink.record(result.metrics)
     return result.server_throughput
 
 
-def test_ablation_esd_efficiency(benchmark, config, emit):
+def test_ablation_esd_efficiency(benchmark, config, emit, bench_metrics):
     benchmark.pedantic(
         run_with_battery, args=(config,), kwargs=dict(efficiency=0.70),
         rounds=1, iterations=1,
@@ -58,7 +60,7 @@ def test_ablation_esd_efficiency(benchmark, config, emit):
             efficiency=eta,
             period_s=config.duty_cycle_period_s,
         )
-        throughput = run_with_battery(config, efficiency=eta)
+        throughput = run_with_battery(config, sink=bench_metrics, efficiency=eta)
         throughputs[eta] = throughput
         rows.append([f"{eta:.0%}", cycle.on_fraction, throughput])
     emit("\n" + banner("ABLATION: battery efficiency vs ESD scheme (80 W, mix-10)"))
@@ -72,7 +74,7 @@ def test_ablation_esd_efficiency(benchmark, config, emit):
     assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))
 
 
-def test_ablation_esd_discharge_limit(benchmark, config, emit):
+def test_ablation_esd_discharge_limit(benchmark, config, emit, bench_metrics):
     benchmark.pedantic(
         run_with_battery, args=(config,), kwargs=dict(max_discharge_w=60.0),
         rounds=1, iterations=1,
@@ -80,7 +82,7 @@ def test_ablation_esd_discharge_limit(benchmark, config, emit):
     rows = []
     throughputs = {}
     for limit in (20.0, 40.0, 60.0):
-        throughput = run_with_battery(config, max_discharge_w=limit)
+        throughput = run_with_battery(config, sink=bench_metrics, max_discharge_w=limit)
         throughputs[limit] = throughput
         rows.append([f"{limit:.0f} W", throughput])
     emit("\n" + banner("ABLATION: discharge-power limit vs ESD scheme (80 W, mix-10)"))
@@ -93,14 +95,14 @@ def test_ablation_esd_discharge_limit(benchmark, config, emit):
     assert throughputs[60.0] >= throughputs[20.0] - 0.02
 
 
-def test_ablation_battery_chemistry(benchmark, config, emit):
+def test_ablation_battery_chemistry(benchmark, config, emit, bench_metrics):
     """Chemistry presets vs the 80 W scheme (the paper's reference [31]
     compares exactly these device classes for datacenter duty)."""
     from repro.esd.presets import BATTERY_PRESETS, make_battery
     from repro.core.simulation import run_mix_experiment
 
     def run_preset(preset):
-        return run_mix_experiment(
+        result = run_mix_experiment(
             list(get_mix(MIX_ID).profiles()),
             "app+res+esd-aware",
             CAP_W,
@@ -110,7 +112,9 @@ def test_ablation_battery_chemistry(benchmark, config, emit):
             warmup_s=20.0,
             battery=make_battery(preset),
             use_oracle_estimates=True,
-        ).server_throughput
+        )
+        bench_metrics.record(result.metrics)
+        return result.server_throughput
 
     benchmark.pedantic(run_preset, args=("lead-acid",), rounds=1, iterations=1)
     rows = []

@@ -21,7 +21,7 @@ from repro.workloads.mixes import get_mix
 MIX_IDS = (1, 10, 14)
 
 
-def gain_at_band(band: float) -> float:
+def gain_at_band(band: float, sink=None) -> float:
     config = ServerConfig(rapl_guard_band=band)
     results = run_policy_comparison(
         [get_mix(i) for i in MIX_IDS],
@@ -32,6 +32,10 @@ def gain_at_band(band: float) -> float:
         warmup_s=6.0,
         use_oracle_estimates=True,
     )
+    if sink is not None:
+        for per_policy in results.values():
+            for result in per_policy.values():
+                sink.record(result.metrics)
     means = {
         p: float(np.mean([results[m][p].server_throughput for m in results]))
         for p in ("util-unaware", "app+res-aware")
@@ -39,12 +43,12 @@ def gain_at_band(band: float) -> float:
     return means["app+res-aware"] / means["util-unaware"]
 
 
-def test_ablation_guard_band(benchmark, emit):
+def test_ablation_guard_band(benchmark, emit, bench_metrics):
     benchmark.pedantic(gain_at_band, args=(0.06,), rounds=1, iterations=1)
     rows = []
     gains = {}
     for band in (0.0, 0.03, 0.06, 0.10):
-        gains[band] = gain_at_band(band)
+        gains[band] = gain_at_band(band, sink=bench_metrics)
         rows.append([f"{band:.0%}", gains[band]])
     emit("\n" + banner("ABLATION: RAPL guard band vs App+Res-Aware gain (100 W)"))
     emit(format_table(["guard band", "gain over util-unaware"], rows))

@@ -19,7 +19,7 @@ MIX_IDS = (1, 10, 14)
 CAP_W = 100.0
 
 
-def mean_throughput(config, *, oracle, fraction=0.10, seed=0):
+def mean_throughput(config, *, oracle, fraction=0.10, seed=0, sink=None):
     totals = []
     for mix_id in MIX_IDS:
         result = run_mix_experiment(
@@ -33,13 +33,15 @@ def mean_throughput(config, *, oracle, fraction=0.10, seed=0):
             use_oracle_estimates=oracle,
             seed=seed,
         )
+        if sink is not None:
+            sink.record(result.metrics)
         totals.append(result.server_throughput)
     return float(np.mean(totals))
 
 
 @pytest.fixture(scope="module")
-def sweep(config):
-    rows = [("oracle", mean_throughput(config, oracle=True))]
+def sweep(config, bench_metrics):
+    rows = [("oracle", mean_throughput(config, oracle=True, sink=bench_metrics))]
     for fraction in (0.02, 0.05, 0.10, 0.25):
         # The sampler fraction is threaded through the mediator; reuse the
         # run_mix_experiment seed parameter to vary noise realizations.
@@ -65,6 +67,7 @@ def sweep(config):
                     profile.with_total_work(float("inf")), skip_overhead=True
                 )
             mediator.run_for(21.0)
+            bench_metrics.record(mediator.export_metrics())
             totals.append(mediator.server_objective(since_s=6.0))
         rows.append((f"learned @ {fraction:.0%}", float(np.mean(totals))))
     return rows

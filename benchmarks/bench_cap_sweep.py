@@ -18,7 +18,7 @@ MIX_IDS = (1, 10, 14)
 CAPS = (115.0, 105.0, 95.0, 90.0, 85.0, 80.0, 75.0)
 
 
-def mean_throughput(config, policy, cap):
+def mean_throughput(config, policy, cap, sink=None):
     totals = []
     for mix_id in MIX_IDS:
         result = run_mix_experiment(
@@ -31,16 +31,18 @@ def mean_throughput(config, policy, cap):
             warmup_s=12.0,
             use_oracle_estimates=True,
         )
+        if sink is not None:
+            sink.record(result.metrics)
         totals.append(result.server_throughput)
     return float(np.mean(totals))
 
 
 @pytest.fixture(scope="module")
-def sweep(config):
+def sweep(config, bench_metrics):
     data = {}
     for cap in CAPS:
         data[cap] = {
-            policy: mean_throughput(config, policy, cap)
+            policy: mean_throughput(config, policy, cap, sink=bench_metrics)
             for policy in ("util-unaware", "app+res-aware", "app+res+esd-aware")
         }
     return data

@@ -34,7 +34,7 @@ KILLS = 3
 CHECKPOINT_EVERY = 50
 
 
-def test_warm_recovery_vs_cold_relearn(benchmark, emit, tmp_path):
+def test_warm_recovery_vs_cold_relearn(benchmark, emit, tmp_path, bench_metrics):
     apps = list(get_mix(10).profiles())
     recipe, script = mix_recipe(
         apps,
@@ -70,6 +70,9 @@ def test_warm_recovery_vs_cold_relearn(benchmark, emit, tmp_path):
         rounds=1,
         iterations=1,
     )
+
+    bench_metrics.record(chaos.result.metrics)
+    bench_metrics.record(chaos.baseline.metrics)
 
     started = time.perf_counter()
     run_script(recipe, script)  # the cold alternative: redo everything

@@ -25,8 +25,8 @@ DURATION_S = 50.0
 WARMUP_S = 5.0
 
 
-def _run(faults):
-    return run_mix_experiment(
+def _run(faults, sink=None):
+    result = run_mix_experiment(
         list(get_mix(10).profiles()),
         "app+res-aware",
         CAP_W,
@@ -36,11 +36,18 @@ def _run(faults):
         seed=1,
         faults=faults,
     )
+    if sink is not None:
+        sink.record(result.metrics)
+    return result
 
 
-def test_clean_vs_faulty_utility(benchmark, emit):
-    clean = _run(None)
-    faulty = benchmark.pedantic(lambda: _run(default_fault_plan(seed=1)), rounds=1, iterations=1)
+def test_clean_vs_faulty_utility(benchmark, emit, bench_metrics):
+    clean = _run(None, sink=bench_metrics)
+    faulty = benchmark.pedantic(
+        lambda: _run(default_fault_plan(seed=1), sink=bench_metrics),
+        rounds=1,
+        iterations=1,
+    )
 
     stats = faulty.fault_stats
     summary = summarize_resilience(stats, total_ticks=int(DURATION_S / 0.1))
@@ -80,7 +87,7 @@ def test_clean_vs_faulty_utility(benchmark, emit):
     assert retained > 0.5
 
 
-def test_faulty_dynamic_completion(benchmark, emit):
+def test_faulty_dynamic_completion(benchmark, emit, bench_metrics):
     def run():
         events = [
             ArrivalEvent(0.0, CATALOG["kmeans"].with_total_work(25.0)),
@@ -97,6 +104,7 @@ def test_faulty_dynamic_completion(benchmark, emit):
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_metrics.record(result.metrics)
     summary = summarize_resilience(result.fault_stats, total_ticks=1200)
     emit("\n" + banner("FAULTY DYNAMIC RUN: all non-crashed arrivals complete"))
     emit(

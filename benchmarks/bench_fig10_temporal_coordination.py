@@ -26,10 +26,14 @@ CAP_W = 80.0
 
 
 @pytest.fixture(scope="module")
-def comparison(config):
-    return run_policy_comparison(
+def comparison(config, bench_metrics):
+    results = run_policy_comparison(
         all_mixes(), POLICIES, CAP_W, config=config, duration_s=60.0, warmup_s=20.0
     )
+    for per_policy in results.values():
+        for result in per_policy.values():
+            bench_metrics.record(result.metrics)
+    return results
 
 
 def test_fig10_temporal_coordination(benchmark, comparison, config, emit):

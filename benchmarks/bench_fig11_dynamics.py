@@ -31,7 +31,7 @@ def timeline_samples(mediator, times):
     return rows
 
 
-def test_fig11a_arrival(benchmark, config, emit):
+def test_fig11a_arrival(benchmark, config, emit, bench_metrics):
     def run():
         server = SimulatedServer(config)
         mediator = PowerMediator(
@@ -46,6 +46,7 @@ def test_fig11a_arrival(benchmark, config, emit):
         return mediator
 
     mediator = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_metrics.record(mediator.export_metrics())
     emit("\n" + banner("FIG 11a: X264 arrives at t = 20 s (P_cap = 100 W)"))
     emit(
         format_table(
@@ -71,7 +72,7 @@ def test_fig11a_arrival(benchmark, config, emit):
     assert x264_knob.cores >= 5 and x264_knob.freq_ghz <= 1.7
 
 
-def test_fig11b_departure(benchmark, config, emit):
+def test_fig11b_departure(benchmark, config, emit, bench_metrics):
     def run():
         server = SimulatedServer(config)
         mediator = PowerMediator(
@@ -85,6 +86,7 @@ def test_fig11b_departure(benchmark, config, emit):
         return mediator
 
     mediator = benchmark.pedantic(run, rounds=1, iterations=1)
+    bench_metrics.record(mediator.export_metrics())
     departure_t = next(
         e.time_s
         for e in mediator.accountant.event_log

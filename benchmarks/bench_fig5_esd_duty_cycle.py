@@ -28,7 +28,7 @@ def sustainable_on_fraction(overshoot_w, headroom_w, efficiency):
 
 
 def test_fig5_consolidated_vs_alternate_duty_cycling(
-    benchmark, config, power_model, emit
+    benchmark, config, power_model, emit, bench_metrics
 ):
     mix = get_mix(10)
     a, b = mix.profiles()
@@ -66,6 +66,7 @@ def test_fig5_consolidated_vs_alternate_duty_cycling(
         rounds=1,
         iterations=1,
     )
+    bench_metrics.record(result.metrics)
     measured_per_app = result.server_throughput / 2.0
 
     emit("\n" + banner("FIG 5: ESD duty cycling at P_cap = 70 W (mix-10)"))

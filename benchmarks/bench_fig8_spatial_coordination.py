@@ -23,10 +23,14 @@ CAP_W = 100.0
 
 
 @pytest.fixture(scope="module")
-def comparison(config):
-    return run_policy_comparison(
+def comparison(config, bench_metrics):
+    results = run_policy_comparison(
         all_mixes(), POLICIES, CAP_W, config=config, duration_s=25.0, warmup_s=8.0
     )
+    for per_policy in results.values():
+        for result in per_policy.values():
+            bench_metrics.record(result.metrics)
+    return results
 
 
 def test_fig8a_server_throughput(benchmark, comparison, config, emit):

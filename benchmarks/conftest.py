@@ -9,9 +9,13 @@ simulated substrate; the shapes are what reproduce (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.core.utility import CandidateSet
+from repro.observability.metrics import MetricsRegistry
 from repro.server.config import ServerConfig
 from repro.server.perf_model import PerformanceModel
 from repro.server.power_model import PowerModel
@@ -39,6 +43,63 @@ def oracle_sets(config, power_model) -> dict[str, CandidateSet]:
         name: CandidateSet.from_models(profile, config, power_model=power_model)
         for name, profile in CATALOG.items()
     }
+
+
+class MetricsSink:
+    """Accumulates ``MixExperimentResult.metrics`` documents across benchmark
+    runs and writes one merged JSON report (counters/gauges/histograms plus
+    the aggregated per-phase profile) at session end."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.profile: dict[str, dict[str, float]] = {}
+        self.runs = 0
+
+    def record(self, metrics_doc: dict | None) -> None:
+        if not metrics_doc:
+            return
+        doc = dict(metrics_doc)
+        profile = doc.pop("profile", {})
+        self.registry = self.registry.merge(MetricsRegistry.from_json(doc))
+        for phase, stats in profile.items():
+            agg = self.profile.setdefault(
+                phase, {"calls": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            agg["calls"] += stats["calls"]
+            agg["total_s"] += stats["total_s"]
+            agg["max_s"] = max(agg["max_s"], stats["max_s"])
+        self.runs += 1
+
+    def to_json(self) -> dict:
+        doc = self.registry.to_json()
+        doc["profile"] = {
+            phase: {
+                **stats,
+                "mean_s": stats["total_s"] / stats["calls"] if stats["calls"] else 0.0,
+            }
+            for phase, stats in sorted(self.profile.items())
+        }
+        doc["runs_recorded"] = self.runs
+        return doc
+
+
+@pytest.fixture(scope="session")
+def bench_metrics(emit):
+    """Session-wide sink for per-run metrics documents.
+
+    Benchmarks that drive the mediator call ``bench_metrics.record(
+    result.metrics)``; the merged report - including the per-phase
+    profiling section - lands in ``$REPRO_BENCH_METRICS`` (default
+    ``bench-metrics.json`` in the invocation directory)."""
+    sink = MetricsSink()
+    yield sink
+    if sink.runs == 0:
+        return
+    path = os.environ.get("REPRO_BENCH_METRICS", "bench-metrics.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(sink.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    emit(f"benchmark metrics ({sink.runs} mediator runs) -> {path}")
 
 
 @pytest.fixture(scope="session")

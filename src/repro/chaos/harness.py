@@ -17,6 +17,9 @@ invariants are enforced (each failure raises
    (relative) of the baseline.
 4. **Determinism** - with no safe hold configured, the recovered timeline is
    *bit-identical* to the uninterrupted one, tick for tick.
+5. **Trace stitching** - when a trace bus is supplied (and no safe hold),
+   the crash-restart run's stitched trace passes :func:`verify_trace` and
+   its content hash equals the uninterrupted baseline's.
 
 The soak repeats this across a seed matrix, sharing one baseline (chaos
 seeds only pick kill ticks; they never touch the simulation's own RNG).
@@ -35,6 +38,8 @@ from repro.core.resilience import ResilienceConfig
 from repro.core.simulation import MixExperimentResult, summarize_mix_run
 from repro.errors import ChaosError, ConfigurationError, SimulationError
 from repro.faults.plan import FaultPlan
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import TraceBus, TraceError, verify_trace
 from repro.persistence.checkpoint import RunRecipe
 from repro.persistence.supervisor import (
     AdmitApp,
@@ -63,15 +68,21 @@ def kill_schedule(total_ticks: int, kills: int, seed: int) -> list[int]:
     return sorted(int(t) for t in picks)
 
 
-def run_script(recipe: RunRecipe, script: list[Command]) -> PowerMediator:
+def run_script(
+    recipe: RunRecipe, script: list[Command], *, trace_bus: TraceBus | None = None
+) -> PowerMediator:
     """Execute a supervisor script directly, with no supervision.
 
     This is the uninterrupted baseline a chaos run is compared against;
     ``Advance`` maps onto :meth:`~repro.core.mediator.PowerMediator.run_for`
     with the same deadline arithmetic the supervisor uses, so the two paths
-    tick identically.
+    tick identically. ``trace_bus`` is attached post-build, the same way the
+    supervisor attaches its bus, so baseline and chaos traces cover the
+    same event stream.
     """
     mediator = recipe.build()
+    if trace_bus is not None:
+        mediator.attach_trace_bus(trace_bus)
     for command in script:
         if isinstance(command, Advance):
             mediator.run_for(command.duration_s)
@@ -103,6 +114,10 @@ class ChaosRunResult:
         timeline_identical: Whether the recovered timeline matched the
             baseline bit for bit; ``None`` when a safe hold made identity
             not applicable.
+        trace_hash: Content hash of the stitched chaos trace (``None`` when
+            the run was not traced).
+        baseline_trace_hash: Content hash of the uninterrupted baseline's
+            trace (``None`` when the baseline was not traced).
     """
 
     kill_ticks: tuple[int, ...]
@@ -111,6 +126,8 @@ class ChaosRunResult:
     recovery: RecoveryStats
     utility_gap: float
     timeline_identical: bool | None
+    trace_hash: str | None = None
+    baseline_trace_hash: str | None = None
 
 
 @dataclass(frozen=True)
@@ -130,6 +147,14 @@ class ChaosSoakResult:
     @property
     def max_utility_gap(self) -> float:
         return max((r.utility_gap for r in self.runs), default=0.0)
+
+    def metrics(self) -> dict:
+        """Soak-wide metrics: every run's registry merged associatively."""
+        merged = MetricsRegistry()
+        for run in self.runs:
+            if run.result.metrics is not None:
+                merged = merged.merge(MetricsRegistry.from_json(run.result.metrics))
+        return merged.to_json()
 
 
 def mix_recipe(
@@ -205,6 +230,7 @@ def run_chaos_mix(
     tear_journal_bytes_on_crash: int = 0,
     utility_tolerance: float = 0.01,
     baseline: PowerMediator | None = None,
+    trace_bus: TraceBus | None = None,
 ) -> ChaosRunResult:
     """One supervised mix run with scheduled mediator kills.
 
@@ -214,6 +240,11 @@ def run_chaos_mix(
         baseline: A pre-run uninterrupted mediator for the same recipe and
             script (the soak shares one); computed here when ``None``.
         utility_tolerance: Relative server-throughput tolerance vs baseline.
+        trace_bus: Optional bus for the chaos run. The supervisor stitches
+            a continuous trace across restarts; with no safe hold it must
+            verify clean and hash identically to the baseline's trace
+            (invariant 5). A ``None``-baseline computed here is traced on
+            its own bus when this is set.
 
     Raises:
         ChaosError: when any recovery invariant fails.
@@ -232,7 +263,8 @@ def run_chaos_mix(
         resilience=resilience,
     )
     if baseline is None:
-        baseline = run_script(recipe, script)
+        baseline_bus = TraceBus() if trace_bus is not None else None
+        baseline = run_script(recipe, script, trace_bus=baseline_bus)
     base_summary = summarize_mix_run(baseline, apps, warmup_s=warmup_s, mix_id=mix_id)
 
     kills = set(kill_ticks)
@@ -252,6 +284,7 @@ def run_chaos_mix(
         tick_hook=_kill_hook,
         safe_hold_ticks=safe_hold_ticks,
         tear_journal_bytes_on_crash=tear_journal_bytes_on_crash,
+        trace_bus=trace_bus,
     )
     mediator = supervisor.run()
 
@@ -282,6 +315,25 @@ def run_chaos_mix(
                 f"({len(mediator.timeline)} vs {len(baseline.timeline)} ticks)"
             )
 
+    stitched_hash: str | None = None
+    baseline_hash: str | None = None
+    if trace_bus is not None:
+        try:
+            verify_trace(trace_bus.events)
+        except TraceError as exc:
+            raise ChaosError(
+                f"stitched trace failed verification after kills at "
+                f"{sorted(kills)}: {exc}"
+            ) from None
+        stitched_hash = trace_bus.content_hash()
+        if baseline.trace_bus.active:
+            baseline_hash = baseline.trace_bus.content_hash()
+            if safe_hold_ticks == 0 and stitched_hash != baseline_hash:
+                raise ChaosError(
+                    f"stitched trace hash {stitched_hash[:16]}... diverged from "
+                    f"baseline {baseline_hash[:16]}... after kills at {sorted(kills)}"
+                )
+
     return ChaosRunResult(
         kill_ticks=tuple(sorted(kills)),
         result=summary,
@@ -289,6 +341,8 @@ def run_chaos_mix(
         recovery=supervisor.stats,
         utility_gap=gap,
         timeline_identical=timeline_identical,
+        trace_hash=stitched_hash,
+        baseline_trace_hash=baseline_hash,
     )
 
 
@@ -314,12 +368,15 @@ def run_chaos_soak(
     safe_hold_ticks: int = 0,
     tear_journal_bytes_on_crash: int = 0,
     utility_tolerance: float = 0.01,
+    trace: bool = False,
 ) -> ChaosSoakResult:
     """Repeat :func:`run_chaos_mix` across a matrix of chaos seeds.
 
     Each seed draws its own :func:`kill_schedule`; the uninterrupted
     baseline is computed once and shared, since chaos seeds never feed the
-    simulation's RNG streams.
+    simulation's RNG streams. With ``trace=True``, the baseline and every
+    chaos run get trace buses, arming the stitched-trace invariant on each
+    run.
 
     Raises:
         ChaosError: on the first run violating any invariant.
@@ -337,7 +394,7 @@ def run_chaos_soak(
         faults=faults,
         resilience=resilience,
     )
-    baseline = run_script(recipe, script)
+    baseline = run_script(recipe, script, trace_bus=TraceBus() if trace else None)
     total_ticks = baseline.tick_count
     workdir = Path(workdir)
     runs: list[ChaosRunResult] = []
@@ -365,6 +422,7 @@ def run_chaos_soak(
                 tear_journal_bytes_on_crash=tear_journal_bytes_on_crash,
                 utility_tolerance=utility_tolerance,
                 baseline=baseline,
+                trace_bus=TraceBus() if trace else None,
             )
         )
     return ChaosSoakResult(runs=tuple(runs))

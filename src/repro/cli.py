@@ -9,12 +9,15 @@ Subcommands:
 * ``dynamic``   - a Poisson arrival stream against one server;
 * ``cluster``   - the Fig. 12 peak-shaving comparison;
 * ``place``     - the power-aware job-placement extension;
-* ``zones``     - the hardware powercap-zone extension.
+* ``zones``     - the hardware powercap-zone extension;
+* ``trace``     - inspect a recorded trace (``trace summarize RUN.jsonl``).
 
 Examples::
 
     python -m repro mix --mix 10 --cap 100
     python -m repro mix --mix 10 --cap 80 --faults default
+    python -m repro mix --mix 10 --cap 80 --trace-out run.jsonl --metrics-out run-metrics.json
+    python -m repro trace summarize run.jsonl
     python -m repro compare --cap 80 --mixes 1,10,14 --policies util-unaware,app+res-aware
     python -m repro utility --app stream
     python -m repro cluster --fast
@@ -23,6 +26,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -37,8 +41,15 @@ from repro.core.simulation import (
     summarize_mix_run,
 )
 from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
-from repro.errors import ChaosError, FaultError, PersistenceError
+from repro.errors import ChaosError, FaultError, ObservabilityError, PersistenceError
 from repro.faults import FaultPlan, default_fault_plan
+from repro.observability.trace import (
+    TraceBus,
+    read_trace,
+    summarize_trace,
+    verify_trace,
+    write_trace,
+)
 from repro.cluster.cluster import ClusterSimulator
 from repro.learning.crossval import calibrate_sampling_fraction
 from repro.server.config import ServerConfig
@@ -97,15 +108,32 @@ def _print_recovery(stats, *, dt_s: float = 0.1) -> None:
     )
 
 
+def _write_observability(args: argparse.Namespace, bus: TraceBus | None, metrics: dict | None) -> None:
+    """Honour ``--trace-out`` / ``--metrics-out`` after a run completes."""
+    if getattr(args, "trace_out", None) and bus is not None:
+        digest = write_trace(args.trace_out, bus)
+        print(f"trace: {len(bus.events)} events -> {args.trace_out} (sha256 {digest})")
+    if getattr(args, "metrics_out", None) and metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}")
+
+
 def cmd_mix(args: argparse.Namespace) -> int:
     mix = get_mix(args.mix)
     faults = _load_fault_plan(args.faults)
     recovery_stats = None
+    bus = TraceBus() if args.trace_out else None
     if args.resume is not None:
         from repro.persistence import read_checkpoint, restore_mediator
 
         doc = read_checkpoint(args.resume)
         mediator = restore_mediator(doc)
+        if bus is not None:
+            # The trace covers the resumed stretch only; events before the
+            # checkpoint belong to the run that wrote it.
+            mediator.attach_trace_bus(bus)
         total_s = args.warmup + args.duration
         remaining_s = total_s - mediator.server.now_s
         print(
@@ -139,6 +167,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
             script,
             args.checkpoint_dir,
             checkpoint_every_ticks=args.checkpoint_every,
+            trace_bus=bus,
         )
         mediator = supervisor.run()
         recovery_stats = supervisor.stats
@@ -156,6 +185,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
             use_oracle_estimates=args.oracle,
             seed=args.seed,
             faults=faults,
+            trace_bus=bus,
         )
     print(banner(f"{mix} @ {args.cap:.0f} W under {args.policy}"))
     rows = [
@@ -173,6 +203,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         )
     if recovery_stats is not None:
         _print_recovery(recovery_stats)
+    _write_observability(args, bus, result.metrics)
     return 0
 
 
@@ -203,6 +234,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             safe_hold_ticks=args.safe_hold,
             tear_journal_bytes_on_crash=args.tear_bytes,
             utility_tolerance=args.tolerance,
+            trace=args.trace,
         )
     print(banner(f"chaos soak: {mix} @ {args.cap:.0f} W under {args.policy}"))
     rows = [
@@ -213,12 +245,23 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             run.recovery.downtime_ticks,
             f"{run.utility_gap:.2%}",
             {True: "yes", False: "NO", None: "n/a"}[run.timeline_identical],
+            "n/a"
+            if run.trace_hash is None
+            else ("yes" if run.trace_hash == run.baseline_trace_hash else "NO"),
         ]
         for seed, run in zip(seeds, soak.runs)
     ]
     print(
         format_table(
-            ["seed", "kill ticks", "restarts", "downtime", "util gap", "bit-identical"],
+            [
+                "seed",
+                "kill ticks",
+                "restarts",
+                "downtime",
+                "util gap",
+                "bit-identical",
+                "trace-stitched",
+            ],
             rows,
         )
     )
@@ -228,6 +271,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"max utility gap {soak.max_utility_gap:.2%} "
         f"(tolerance {args.tolerance:.0%})"
     )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(soak.metrics(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -429,6 +477,27 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    events = read_trace(args.path)
+    checks = verify_trace(events)
+    summary = summarize_trace(events)
+    print(banner(f"trace {args.path}"))
+    print(
+        f"events {summary['events']} "
+        f"({summary['sim_events']} sim + {summary['meta_events']} meta); "
+        f"ticks {summary['ticks']} "
+        f"[{summary['first_tick']}..{summary['last_tick']}], "
+        f"{summary['duration_s']:.1f} s of sim time; "
+        f"restarts {summary['restarts']}; "
+        f"breach ticks {checks['breach_ticks']}"
+    )
+    print("kinds: " + ", ".join(f"{k}={v}" for k, v in summary["kinds"].items()))
+    if summary["modes"]:
+        print("modes: " + ", ".join(f"{m}={n}" for m, n in summary["modes"].items()))
+    print(f"verified ok; sha256 {summary['hash']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -452,6 +521,22 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="PLAN.json",
             help="inject faults from a JSON plan ('default' for the built-in plan)",
+        )
+
+    def observability_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace-out",
+            type=str,
+            default=None,
+            metavar="RUN.jsonl",
+            help="record a structured trace of the run (canonical JSONL)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            type=str,
+            default=None,
+            metavar="METRICS.json",
+            help="export counters/gauges/histograms and per-phase profile",
         )
 
     p_mix = sub.add_parser("mix", help="one co-location under one policy")
@@ -482,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p_mix)
     faults_arg(p_mix)
+    observability_args(p_mix)
     p_mix.set_defaults(func=cmd_mix)
 
     p_chaos = sub.add_parser(
@@ -512,6 +598,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--workdir", type=str, default=None,
         help="keep journals/checkpoints here (default: a temp dir)",
+    )
+    p_chaos.add_argument(
+        "--trace", action="store_true",
+        help="trace every run and enforce stitched-trace == baseline hash",
+    )
+    p_chaos.add_argument(
+        "--metrics-out", type=str, default=None, metavar="METRICS.json",
+        help="export the soak's merged metrics registry",
     )
     common(p_chaos)
     faults_arg(p_chaos)
@@ -573,6 +667,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_zones.add_argument("--duration", type=float, default=30.0)
     p_zones.set_defaults(func=cmd_zones)
 
+    p_trace = sub.add_parser("trace", help="inspect a recorded run trace")
+    p_trace.add_argument(
+        "action", choices=["summarize"], help="what to do with the trace"
+    )
+    p_trace.add_argument("path", help="trace file written by --trace-out")
+    p_trace.set_defaults(func=cmd_trace)
+
     return parser
 
 
@@ -581,9 +682,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     try:
         return int(args.func(args))
-    except (PersistenceError, ChaosError) as exc:
-        # Corrupt checkpoints, torn journals, failed soak invariants: one
-        # clear line, never a traceback.
+    except (PersistenceError, ChaosError, ObservabilityError) as exc:
+        # Corrupt checkpoints, torn journals, failed soak invariants,
+        # damaged traces: one clear line, never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -33,6 +33,8 @@ from repro.cluster.manager import (
     evaluate_equal_policy_bin,
 )
 from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.server.config import ServerConfig, DEFAULT_SERVER_CONFIG
 from repro.workloads.mixes import Mix, all_mixes
 from repro.workloads.profiles import WorkloadProfile
@@ -156,6 +158,8 @@ class ClusterSimulator:
         self._planner = ConsolidationPlanner(config)
         self._equal_cache: dict[tuple[int, str, float], tuple[float, float]] = {}
         self._loaded_power_cache: dict[int, float] = {}
+        self._trace: TraceBus = NULL_TRACE_BUS
+        self._metrics = MetricsRegistry()
 
     @property
     def n_servers(self) -> int:
@@ -243,6 +247,8 @@ class ClusterSimulator:
         dt_s: float = 0.1,
         seed: int = 0,
         outages: tuple[NodeOutage, ...] = (),
+        trace_bus: TraceBus | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> ClusterExperiment:
         """Evaluate every strategy at every shaving level.
 
@@ -259,7 +265,16 @@ class ClusterSimulator:
                 survivors (``(ceiling - idle) / n_alive`` per server) and
                 restore the even split at recovery; consolidation replans
                 against the shrunken fleet.
+            trace_bus: Optional sink for ``cluster-bin`` (one per fresh bin
+                evaluation) and ``cluster-level`` (one per shave level)
+                events; the sweep is seed-deterministic, so these hash
+                stably like any other sim events.
+            metrics: Optional registry receiving the
+                ``cluster.bins_evaluated`` / ``cluster.bin_cache_hits``
+                counters that quantify how much the memoization saved.
         """
+        self._trace = trace_bus if trace_bus is not None else NULL_TRACE_BUS
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
         peak_w = self.uncapped_cluster_power_w()
         if trace is None:
             trace = ClusterPowerTrace.synthetic_diurnal(peak_w=peak_w, seed=seed)
@@ -385,6 +400,21 @@ class ClusterSimulator:
                         evaluation.aggregate_perf,
                         evaluation.cluster_power_w + idle_w,
                     )
+                    self._metrics.counter("cluster.bins_evaluated").inc()
+                    self._trace.emit(
+                        "cluster-bin",
+                        {
+                            "policy": policy,
+                            "shave": shave,
+                            "loaded": k,
+                            "failed": sorted(failed),
+                            "per_server_cap_w": per_server,
+                            "aggregate_perf": evaluation.aggregate_perf,
+                            "cluster_power_w": evaluation.cluster_power_w + idle_w,
+                        },
+                    )
+                else:
+                    self._metrics.counter("cluster.bin_cache_hits").inc()
                 perf, power = bin_cache[key]
                 perf_time += perf * step_s
                 power_time += power * step_s
@@ -435,6 +465,22 @@ class ClusterSimulator:
             lost_node_steps=lost_node_steps,
         )
         assert set(out) == set(CLUSTER_POLICY_NAMES)
+        self._trace.emit(
+            "cluster-level",
+            {
+                "shave": shave,
+                "migrations": migrations,
+                "lost_node_steps": lost_node_steps,
+                "policies": {
+                    name: {
+                        "aggregate_performance": result.aggregate_performance,
+                        "power_efficiency": result.power_efficiency,
+                        "budget_efficiency": result.budget_efficiency,
+                    }
+                    for name, result in sorted(out.items())
+                },
+            },
+        )
         return out
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.core.coordinator import AllocationPlan, CoordinationMode
 from repro.core.events import (
     ArrivalEvent,
@@ -65,6 +66,9 @@ class Accountant:
         self._deviation_counts: dict[str, int] = {}
         self._suppressed: set[str] = set()
         self._log: list[Event] = []
+        #: Trace sink for the E1-E4/F/R stream; the mediator re-points this
+        #: when a bus is attached. Not serialized - traces belong to a run.
+        self.trace_bus: TraceBus = NULL_TRACE_BUS
 
     # ------------------------------------------------------------- messages
 
@@ -85,12 +89,14 @@ class Accountant:
         self._p_cap_w = new_cap_w
         event = CapChangeEvent(time_s=self._server.now_s, new_cap_w=new_cap_w)
         self._log.append(event)
+        self.trace_bus.emit("cap-change", {"at_s": event.time_s, "new_cap_w": new_cap_w})
         return event
 
     def notify_arrival(self, profile: WorkloadProfile) -> ArrivalEvent:
         """E2 message: a new application was scheduled here."""
         event = ArrivalEvent(time_s=self._server.now_s, profile=profile)
         self._log.append(event)
+        self.trace_bus.emit("arrival", {"at_s": event.time_s, "app": profile.name})
         return event
 
     def adopt_plan(self, plan: AllocationPlan) -> None:
@@ -107,6 +113,9 @@ class Accountant:
             time_s=self._server.now_s, kind=kind, target=target, detail=detail
         )
         self._log.append(event)
+        self.trace_bus.emit(
+            "fault", {"at_s": event.time_s, "kind": kind, "target": target, "detail": detail}
+        )
         return event
 
     def notify_recovery(
@@ -117,6 +126,9 @@ class Accountant:
             time_s=self._server.now_s, kind=kind, target=target, detail=detail
         )
         self._log.append(event)
+        self.trace_bus.emit(
+            "recovery", {"at_s": event.time_s, "kind": kind, "target": target, "detail": detail}
+        )
         return event
 
     # ---------------------------------------------------------- persistence
@@ -175,6 +187,9 @@ class Accountant:
         for name in result.completed:
             event = DepartureEvent(time_s=result.time_s, app=name, completed=True)
             self._log.append(event)
+            self.trace_bus.emit(
+                "departure", {"at_s": result.time_s, "app": name, "completed": True}
+            )
             events.append(event)
         if (
             telemetry_fresh
@@ -200,6 +215,15 @@ class Accountant:
                         allocated_power_w=expected.power_w,
                     )
                     self._log.append(event)
+                    self.trace_bus.emit(
+                        "phase-change",
+                        {
+                            "at_s": result.time_s,
+                            "app": name,
+                            "observed_w": observed,
+                            "allocated_w": expected.power_w,
+                        },
+                    )
                     events.append(event)
                     # One E4 per app per plan epoch; the re-allocation it
                     # triggers resets suppression via adopt_plan().

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError, SimulationError
 from repro.core.allocator import Allocation
 from repro.esd.controller import DutyCycle, EsdController, Phase
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.server.config import KnobSetting
 from repro.server.server import SimulatedServer
 
@@ -181,6 +182,9 @@ class Coordinator:
         self._slot_index = 0
         self._slot_elapsed_s = 0.0
         self._esd_on = False
+        #: Trace sink for actuation/suspension events; the mediator re-points
+        #: this when a bus is attached. Not serialized.
+        self.trace_bus: TraceBus = NULL_TRACE_BUS
 
     @property
     def plan(self) -> AllocationPlan | None:
@@ -320,8 +324,12 @@ class Coordinator:
                 floored.append(name)
             else:
                 self._server.knobs.clear_failed_write(name)
-                self._server.suspend(name)
+                self._suspend(name)
                 suspended.append(name)
+        self.trace_bus.emit(
+            "emergency-throttle",
+            {"cap_w": cap_w, "floored": floored, "suspended": suspended},
+        )
         return floored, suspended
 
     # ------------------------------------------------------------ internals
@@ -334,11 +342,23 @@ class Coordinator:
             if not self._server.handle_of(name).completed
         ]
 
+    def _suspend(self, name: str) -> None:
+        """Suspend, tracing only the running -> suspended transition."""
+        if not self._server.knobs.is_suspended(name):
+            self.trace_bus.emit("suspend", {"app": name})
+        self._server.suspend(name)
+
+    def _resume(self, name: str) -> None:
+        """Resume, tracing only the suspended -> running transition."""
+        if self._server.knobs.is_suspended(name):
+            self.trace_bus.emit("resume", {"app": name})
+        self._server.resume(name)
+
     def _actuate_space(self, plan: AllocationPlan) -> None:
         for name in self._managed_apps():
             knob = plan.knobs.get(name)
             if knob is None:
-                self._server.suspend(name)
+                self._suspend(name)
             else:
                 budget = None
                 if plan.allocation is not None and name in plan.allocation.apps:
@@ -354,7 +374,7 @@ class Coordinator:
             if name in running:
                 self._actuate_verified(name, slot.knobs[name], budget)
             else:
-                self._server.suspend(name)
+                self._suspend(name)
 
     def _actuate_verified(
         self, name: str, knob: KnobSetting, budget_w: float | None
@@ -371,7 +391,11 @@ class Coordinator:
         """
         verified = self._server.knobs.set_knob(name, knob)
         if verified:
-            self._server.resume(name)
+            self.trace_bus.emit(
+                "knob-actuation",
+                {"app": name, "knob": knob.to_json(), "verified": True, "resumed": True},
+            )
+            self._resume(name)
             return True
         profile = self._server.handle_of(name).profile
         observed_cost = self._server.power_model.app_power_w(
@@ -382,15 +406,26 @@ class Coordinator:
             if budget_w is not None
             else self._server.power_model.app_power_w(profile, knob)
         )
-        if observed_cost <= limit + 1e-9:
-            self._server.resume(name)
+        resumed = observed_cost <= limit + 1e-9
+        self.trace_bus.emit(
+            "knob-actuation",
+            {
+                "app": name,
+                "knob": knob.to_json(),
+                "readback": self._server.knobs.readback(name).to_json(),
+                "verified": False,
+                "resumed": resumed,
+            },
+        )
+        if resumed:
+            self._resume(name)
         else:
-            self._server.suspend(name)
+            self._suspend(name)
         return False
 
     def _suspend_all(self) -> None:
         for name in self._managed_apps():
-            self._server.suspend(name)
+            self._suspend(name)
 
     def _advance_rotation(self, dt_s: float) -> None:
         assert self._plan is not None

@@ -63,6 +63,9 @@ from repro.learning.collaborative import CollaborativeEstimator
 from repro.learning.crossval import build_exhaustive_corpus
 from repro.learning.matrix import PreferenceMatrix
 from repro.learning.sampling import Sampler, StratifiedSampler
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.profiling import PhaseProfiler
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.server.config import KnobSetting
 from repro.server.rapl import energy_delta_j
 from repro.server.server import ApplicationHandle, SimulatedServer
@@ -236,6 +239,7 @@ class PowerMediator:
         seed: int = 0,
         faults: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
+        trace_bus: TraceBus | None = None,
     ) -> None:
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
@@ -251,8 +255,15 @@ class PowerMediator:
         self._sampler = sampler if sampler is not None else StratifiedSampler(0.10, seed=seed)
         self._use_oracle = use_oracle_estimates
 
+        self._metrics = MetricsRegistry()
+        self._profiler = PhaseProfiler()
+        self._trace = NULL_TRACE_BUS
+        self._timeline: list[TickRecord] = []
+
         self._coordinator = Coordinator(server)
         self._accountant = Accountant(server)
+        if trace_bus is not None:
+            self.attach_trace_bus(trace_bus)
         self._accountant.notify_cap_change(p_cap_w)
 
         self._corpus = (
@@ -267,7 +278,6 @@ class PowerMediator:
         self._managed: dict[str, ManagedApp] = {}
         self._finished: dict[str, ApplicationHandle] = {}
         self._finished_peaks: dict[str, float] = {}
-        self._timeline: list[TickRecord] = []
         self._calibration_pending_s = 0.0
 
         self._resilience_cfg = resilience if resilience is not None else ResilienceConfig()
@@ -276,7 +286,7 @@ class PowerMediator:
         )
         self._watchdog = TelemetryWatchdog(self._resilience_cfg)
         self._retrier = ActuationRetrier(server.knobs, self._resilience_cfg)
-        self._fault_stats = FaultStats()
+        self._fault_stats = FaultStats(self._metrics)
         self._fallback_policy: Policy | None = None
         self._actuation_faulted: set[str] = set()
         self._breach_last_tick = False
@@ -324,6 +334,54 @@ class PowerMediator:
     @property
     def fault_injector(self) -> FaultInjector | None:
         return self._injector
+
+    @property
+    def trace_bus(self) -> TraceBus:
+        """The attached trace sink (the shared no-op bus by default)."""
+        return self._trace
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The run's metrics registry (resilience counters included)."""
+        return self._metrics
+
+    @property
+    def profiler(self) -> PhaseProfiler:
+        """Wall-clock timers around the control loop's phases."""
+        return self._profiler
+
+    def attach_trace_bus(self, bus: TraceBus) -> None:
+        """Route this mediator's (and its components') events to ``bus``.
+
+        May be called mid-run - the supervisor re-attaches after a warm
+        restart. The bus cursor is synced to this mediator's position: the
+        cursor an uninterrupted run would have between ticks is the *start*
+        time of the last executed tick, which keeps events emitted before
+        the next tick (cap changes, admissions, replayed commands) stamped
+        identically to an uninterrupted run's.
+        """
+        self._trace = bus
+        self._coordinator.trace_bus = bus
+        self._accountant.trace_bus = bus
+        if self._timeline:
+            last = self._timeline[-1]
+            bus.begin_tick(len(self._timeline) - 1, last.time_s - self._dt_s)
+        else:
+            bus.begin_tick(0, self._server.now_s)
+
+    def export_metrics(self) -> dict:
+        """The run's metrics JSON: registry plus the per-phase profile.
+
+        Counters/gauges/histograms are deterministic per seed; the
+        ``profile`` section is wall-clock and is not.
+        """
+        self._metrics.gauge("mediator.ticks").set(float(len(self._timeline)))
+        self._metrics.gauge("mediator.managed_apps").set(float(len(self._managed)))
+        if self._battery is not None:
+            self._metrics.gauge("esd.soc").set(self._battery.soc)
+        doc = self._metrics.to_json()
+        doc["profile"] = self._profiler.report()
+        return doc
 
     @property
     def degraded_telemetry(self) -> bool:
@@ -587,6 +645,10 @@ class PowerMediator:
             self._accountant._log.append(  # noqa: SLF001 - mediator is the owner
                 DepartureEvent(time_s=self._server.now_s, app=app, completed=False)
             )
+            self._trace.emit(
+                "departure",
+                {"at_s": self._server.now_s, "app": app, "completed": False},
+            )
         if self._managed:
             self.reallocate()
         return handle
@@ -613,22 +675,59 @@ class PowerMediator:
         if policy.uses_esd and not self._battery_trusted():
             policy = self._get_fallback_policy()
             battery = None
-        ctx = PolicyContext(
-            config=self._server.config,
-            p_cap_w=self._effective_cap_w(),
-            oracle=dict(self._oracle),
-            estimates=dict(self._estimates),
-            population=self._get_population(),
-            battery=battery,
-        )
-        plan = self._guard_plan(policy.plan(ctx))
+        with self._profiler.phase("allocate"):
+            ctx = PolicyContext(
+                config=self._server.config,
+                p_cap_w=self._effective_cap_w(),
+                oracle=dict(self._oracle),
+                estimates=dict(self._estimates),
+                population=self._get_population(),
+                battery=battery,
+            )
+            plan = self._guard_plan(policy.plan(ctx))
         esd_controller = None
         if plan.mode is CoordinationMode.ESD:
             assert self._battery is not None and plan.duty_cycle is not None
             esd_controller = EsdController(self._battery, plan.duty_cycle)
-        self._coordinator.adopt(plan, esd_controller=esd_controller)
+        previous = self._coordinator.plan
+        with self._profiler.phase("actuate"):
+            self._coordinator.adopt(plan, esd_controller=esd_controller)
         self._accountant.adopt_plan(plan)
+        self._metrics.counter("mediator.reallocations").inc()
+        self._metrics.counter(f"coordination.adoptions.{plan.mode.value}").inc()
+        self._emit_allocation(plan, previous)
         return plan
+
+    def _emit_allocation(self, plan: AllocationPlan, previous: AllocationPlan | None) -> None:
+        """Trace the adopted plan (and the mode transition, when one occurred)."""
+        if not self._trace.active:
+            return
+        prev_mode = None if previous is None else previous.mode.value
+        if prev_mode != plan.mode.value:
+            self._trace.emit(
+                "mode-switch", {"from_mode": prev_mode, "to_mode": plan.mode.value}
+            )
+        payload: dict = {
+            "mode": plan.mode.value,
+            "cap_w": plan.p_cap_w,
+            "knobs": {name: knob.to_json() for name, knob in plan.knobs.items()},
+            "slots": len(plan.slots),
+        }
+        if plan.allocation is not None:
+            payload["budget_w"] = plan.allocation.budget_w
+            payload["objective"] = plan.allocation.objective
+            payload["apps"] = {
+                name: {"power_w": a.power_w, "excluded": a.excluded}
+                for name, a in plan.allocation.apps.items()
+            }
+        if plan.duty_cycle is not None:
+            payload["duty_cycle"] = {
+                "on_s": plan.duty_cycle.on_s,
+                "off_s": plan.duty_cycle.off_s,
+                "charge_w": plan.duty_cycle.charge_w,
+                "discharge_w": plan.duty_cycle.discharge_w,
+            }
+        self._trace.emit("allocation", payload)
 
     def _battery_trusted(self) -> bool:
         """Whether R4 consolidated duty cycling may rely on the ESD now."""
@@ -788,49 +887,92 @@ class PowerMediator:
 
     def _one_tick(self) -> None:
         dt = self._dt_s
+        self._trace.begin_tick(len(self._timeline), self._server.now_s)
         if self._injector is not None:
-            self._apply_faults()
+            with self._profiler.phase("faults"):
+                self._apply_faults()
         # Calibration latency: the newest arrival stays suspended while the
         # measurement/optimization pipeline settles.
         if self._calibration_pending_s > 0:
             self._calibration_pending_s = max(0.0, self._calibration_pending_s - dt)
-        self._service_actuation()
-        action = self._coordinator.step(dt)
-        result = self._server.tick(
-            dt,
-            esd_charge_w=action.esd_charge_w,
-            esd_discharge_w=action.esd_discharge_w,
-            deep_sleep=action.deep_sleep,
-        )
-        observed_w, fresh = self._sample_wall_power(dt)
-        self._watch_telemetry(fresh)
-        breach = self._police_cap(result)
-        plan = self._coordinator.plan
-        self._timeline.append(
-            TickRecord(
-                time_s=result.time_s,
-                p_cap_w=self.p_cap_w,
-                wall_w=result.breakdown.wall_w,
-                mode=plan.mode if plan is not None else CoordinationMode.IDLE,
-                app_power_w=dict(result.breakdown.app_w),
-                app_knobs={
-                    name: self._server.knobs.knob_of(name)
-                    for name in result.breakdown.app_w
-                },
-                progressed=dict(result.progressed),
-                battery_soc=self._battery.soc if self._battery is not None else None,
-                observed_wall_w=observed_w,
-                degraded=self._watchdog.degraded,
-                breach=breach,
+        with self._profiler.phase("actuate"):
+            self._service_actuation()
+        with self._profiler.phase("coordinate"):
+            action = self._coordinator.step(dt)
+        with self._profiler.phase("engine"):
+            result = self._server.tick(
+                dt,
+                esd_charge_w=action.esd_charge_w,
+                esd_discharge_w=action.esd_discharge_w,
+                deep_sleep=action.deep_sleep,
             )
+        with self._profiler.phase("telemetry"):
+            observed_w, fresh = self._sample_wall_power(dt)
+            self._watch_telemetry(fresh)
+            breach = self._police_cap(result)
+        plan = self._coordinator.plan
+        record = TickRecord(
+            time_s=result.time_s,
+            p_cap_w=self.p_cap_w,
+            wall_w=result.breakdown.wall_w,
+            mode=plan.mode if plan is not None else CoordinationMode.IDLE,
+            app_power_w=dict(result.breakdown.app_w),
+            app_knobs={
+                name: self._server.knobs.knob_of(name)
+                for name in result.breakdown.app_w
+            },
+            progressed=dict(result.progressed),
+            battery_soc=self._battery.soc if self._battery is not None else None,
+            observed_wall_w=observed_w,
+            degraded=self._watchdog.degraded,
+            breach=breach,
         )
+        self._timeline.append(record)
+        self._record_tick(record, action)
         self._check_phase_boundaries()
-        for event in self._accountant.poll(result, telemetry_fresh=fresh):
-            self._handle_event(event)
+        with self._profiler.phase("events"):
+            for event in self._accountant.poll(result, telemetry_fresh=fresh):
+                self._handle_event(event)
         if self._safe_hold_ticks > 0:
             self._safe_hold_ticks -= 1
             if self._safe_hold_ticks == 0 and self._managed:
                 self.reallocate()  # the hold expired: restore the full cap
+
+    def _record_tick(self, record: TickRecord, action) -> None:
+        """Feed the tick into the metrics registry and the trace bus."""
+        self._metrics.counter("mediator.ticks").inc()
+        self._metrics.histogram("mediator.wall_w").observe(record.wall_w)
+        self._metrics.histogram("mediator.headroom_w").observe(
+            record.p_cap_w - record.wall_w
+        )
+        if action.esd_charge_w > 0:
+            self._metrics.histogram("esd.charge_w").observe(action.esd_charge_w)
+        if action.esd_discharge_w > 0:
+            self._metrics.histogram("esd.discharge_w").observe(action.esd_discharge_w)
+        if not self._trace.active:
+            return
+        self._trace.emit(
+            "tick",
+            {
+                "time_s": record.time_s,
+                "cap_w": record.p_cap_w,
+                "wall_w": record.wall_w,
+                "mode": record.mode.value,
+                "soc": record.battery_soc,
+                "degraded": record.degraded,
+                "breach": record.breach,
+                "app_w": record.app_power_w,
+            },
+        )
+        if action.esd_charge_w > 0 or action.esd_discharge_w > 0:
+            self._trace.emit(
+                "battery",
+                {
+                    "charge_w": action.esd_charge_w,
+                    "discharge_w": action.esd_discharge_w,
+                    "soc": record.battery_soc,
+                },
+            )
 
     # ------------------------------------------------------------- resilience
 
@@ -1029,48 +1171,53 @@ class PowerMediator:
         asking for more cores than the group reserves cannot be actuated,
         so it must not be allocatable either.
         """
-        profile = self._managed[app].profile
-        config = self._server.config
-        width = self._server.topology.group_of(app).width
-        oracle = CandidateSet.from_models(
-            profile, config, power_model=self._server.power_model
-        )
-        if width < config.cores_max:
-            oracle = oracle.subset(
-                [i for i, k in enumerate(oracle.knobs) if k.cores <= width],
-                rebase_nocap=True,
+        with self._profiler.phase("learn"):
+            self._metrics.counter("mediator.calibrations").inc()
+            profile = self._managed[app].profile
+            config = self._server.config
+            width = self._server.topology.group_of(app).width
+            oracle = CandidateSet.from_models(
+                profile, config, power_model=self._server.power_model
             )
-        self._oracle[app] = oracle
-        if self._use_oracle or not self._policy.needs_learning:
-            self._estimates[app] = oracle
-            return
-        estimator = self._get_estimator()
-        samples: dict[KnobSetting, tuple[float, float]] = {}
-        for knob in self._sampler.select(config):
-            power = self._server.power_model.app_power_w(profile, knob)
-            perf = self._server.perf_model.rate(profile, knob)
-            if self._power_noise_std_w > 0:
-                power = max(0.0, power + float(self._rng.normal(0.0, self._power_noise_std_w)))
-            if self._perf_noise_relative_std > 0:
-                perf = max(
-                    0.0,
-                    perf * (1.0 + float(self._rng.normal(0.0, self._perf_noise_relative_std))),
+            if width < config.cores_max:
+                oracle = oracle.subset(
+                    [i for i, k in enumerate(oracle.knobs) if k.cores <= width],
+                    rebase_nocap=True,
                 )
-            if self._watchdog.degraded:
-                # Calibrating on an untrusted sensor: err toward
-                # over-estimating draw so allocations stay defensible.
-                power *= self._resilience_cfg.conservative_inflation
-            samples[knob] = (power, perf)
-        estimate = estimator.estimate(self._corpus, samples)
-        estimated = CandidateSet.from_estimates(
-            app, config, estimate.power_w, estimate.perf
-        )
-        if width < config.cores_max:
-            estimated = estimated.subset(
-                [i for i, k in enumerate(estimated.knobs) if k.cores <= width],
-                rebase_nocap=True,
+            self._oracle[app] = oracle
+            if self._use_oracle or not self._policy.needs_learning:
+                self._estimates[app] = oracle
+                return
+            estimator = self._get_estimator()
+            samples: dict[KnobSetting, tuple[float, float]] = {}
+            for knob in self._sampler.select(config):
+                power = self._server.power_model.app_power_w(profile, knob)
+                perf = self._server.perf_model.rate(profile, knob)
+                if self._power_noise_std_w > 0:
+                    power = max(
+                        0.0, power + float(self._rng.normal(0.0, self._power_noise_std_w))
+                    )
+                if self._perf_noise_relative_std > 0:
+                    perf = max(
+                        0.0,
+                        perf
+                        * (1.0 + float(self._rng.normal(0.0, self._perf_noise_relative_std))),
+                    )
+                if self._watchdog.degraded:
+                    # Calibrating on an untrusted sensor: err toward
+                    # over-estimating draw so allocations stay defensible.
+                    power *= self._resilience_cfg.conservative_inflation
+                samples[knob] = (power, perf)
+            estimate = estimator.estimate(self._corpus, samples)
+            estimated = CandidateSet.from_estimates(
+                app, config, estimate.power_w, estimate.perf
             )
-        self._estimates[app] = estimated
+            if width < config.cores_max:
+                estimated = estimated.subset(
+                    [i for i, k in enumerate(estimated.knobs) if k.cores <= width],
+                    rebase_nocap=True,
+                )
+            self._estimates[app] = estimated
 
     def _get_estimator(self) -> CollaborativeEstimator:
         if self._estimator is None:

@@ -31,8 +31,9 @@ path itself failed, which is a bug.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.observability.metrics import MetricsRegistry
 from repro.server.config import KnobSetting
 from repro.server.knobs import KnobController
 
@@ -88,9 +89,33 @@ class FaultEpisode:
         return None if self.end_s is None else self.end_s - self.start_s
 
 
-@dataclass
+def _counter_attr(field_name: str) -> property:
+    """An int attribute backed by the registry counter ``resilience.<name>``.
+
+    Reads return the counter value; ``stats.field += n`` round-trips through
+    the counter's monotone ``inc``, so a decrease raises instead of silently
+    corrupting the ledger.
+    """
+    key = f"resilience.{field_name}"
+
+    def _get(self: "FaultStats") -> int:
+        return int(self.registry.counter(key).value)
+
+    def _set(self: "FaultStats", value: int) -> None:
+        counter = self.registry.counter(key)
+        counter.inc(value - counter.value)
+
+    return property(_get, _set)
+
+
 class FaultStats:
     """Resilience counters for one mediated run.
+
+    The counters live in a :class:`~repro.observability.metrics.MetricsRegistry`
+    (the mediator shares its run registry so resilience counts appear in the
+    exported metrics JSON alongside everything else); the attribute API below
+    is unchanged from the original plain-int ledger, and :meth:`state_dict`
+    keeps its exact checkpoint shape.
 
     Attributes:
         breach_ticks: Ticks whose true wall power exceeded cap + tolerance.
@@ -104,15 +129,31 @@ class FaultStats:
         episodes: Fault episodes for MTTR (closed ones have ``end_s``).
     """
 
-    breach_ticks: int = 0
-    emergency_throttles: int = 0
-    actuation_retries: int = 0
-    actuation_escalations: int = 0
-    degraded_ticks: int = 0
-    dropped_samples: int = 0
-    stale_samples: int = 0
-    crashes: int = 0
-    episodes: list[FaultEpisode] = field(default_factory=list)
+    COUNTER_FIELDS = (
+        "breach_ticks",
+        "emergency_throttles",
+        "actuation_retries",
+        "actuation_escalations",
+        "degraded_ticks",
+        "dropped_samples",
+        "stale_samples",
+        "crashes",
+    )
+
+    breach_ticks = _counter_attr("breach_ticks")
+    emergency_throttles = _counter_attr("emergency_throttles")
+    actuation_retries = _counter_attr("actuation_retries")
+    actuation_escalations = _counter_attr("actuation_escalations")
+    degraded_ticks = _counter_attr("degraded_ticks")
+    dropped_samples = _counter_attr("dropped_samples")
+    stale_samples = _counter_attr("stale_samples")
+    crashes = _counter_attr("crashes")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.episodes: list[FaultEpisode] = []
+        for name in self.COUNTER_FIELDS:
+            self.registry.counter(f"resilience.{name}")  # materialize at zero
 
     def open_episode(self, kind: str, target: str | None, now_s: float) -> None:
         """Record a fault being raised (idempotent per open (kind, target))."""
@@ -138,14 +179,7 @@ class FaultStats:
     def state_dict(self) -> dict:
         """Snapshot the full ledger, episode order included."""
         return {
-            "breach_ticks": self.breach_ticks,
-            "emergency_throttles": self.emergency_throttles,
-            "actuation_retries": self.actuation_retries,
-            "actuation_escalations": self.actuation_escalations,
-            "degraded_ticks": self.degraded_ticks,
-            "dropped_samples": self.dropped_samples,
-            "stale_samples": self.stale_samples,
-            "crashes": self.crashes,
+            **{name: getattr(self, name) for name in self.COUNTER_FIELDS},
             "episodes": [
                 {
                     "kind": ep.kind,
@@ -158,15 +192,13 @@ class FaultStats:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot exactly."""
-        self.breach_ticks = int(state["breach_ticks"])
-        self.emergency_throttles = int(state["emergency_throttles"])
-        self.actuation_retries = int(state["actuation_retries"])
-        self.actuation_escalations = int(state["actuation_escalations"])
-        self.degraded_ticks = int(state["degraded_ticks"])
-        self.dropped_samples = int(state["dropped_samples"])
-        self.stale_samples = int(state["stale_samples"])
-        self.crashes = int(state["crashes"])
+        """Restore a :meth:`state_dict` snapshot exactly.
+
+        Restores bypass the monotone ``inc`` path: a checkpoint may
+        legitimately rewind a counter below its live value.
+        """
+        for name in self.COUNTER_FIELDS:
+            self.registry.counter(f"resilience.{name}").reset(int(state[name]))
         self.episodes = [
             FaultEpisode(
                 kind=ep["kind"],

@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.mediator import PowerMediator
 from repro.core.policies import Policy, make_policy
 from repro.core.resilience import FaultStats, ResilienceConfig
+from repro.observability.trace import TraceBus
 from repro.esd.battery import LeadAcidBattery
 from repro.faults.plan import FaultPlan
 from repro.server.config import ServerConfig, DEFAULT_SERVER_CONFIG
@@ -83,6 +84,9 @@ class MixExperimentResult:
         mean_wall_power_w: Average wall power over the window.
         fault_stats: Resilience counters of the run (all-zero on a clean
             run; ``None`` only on results built by older callers).
+        metrics: The run's exported metrics JSON (counters, gauges,
+            histograms, and the wall-clock ``profile`` section); ``None``
+            only on results built by older callers.
     """
 
     mix_id: int
@@ -93,6 +97,7 @@ class MixExperimentResult:
     server_throughput: float
     mean_wall_power_w: float
     fault_stats: FaultStats | None = None
+    metrics: dict | None = None
 
 
 def default_battery() -> LeadAcidBattery:
@@ -127,6 +132,7 @@ def run_mix_experiment(
     seed: int = 0,
     faults: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    trace_bus: TraceBus | None = None,
 ) -> MixExperimentResult:
     """Run one co-location under one policy and cap.
 
@@ -147,6 +153,8 @@ def run_mix_experiment(
             the plan's own seed).
         faults: Optional fault plan injected during the run.
         resilience: Degraded-mode tunables.
+        trace_bus: Optional observability sink; same seed and arguments
+            produce a byte-identical event stream on it.
 
     Raises:
         ConfigurationError: for an empty app list.
@@ -168,6 +176,7 @@ def run_mix_experiment(
         seed=seed,
         faults=faults,
         resilience=resilience,
+        trace_bus=trace_bus,
     )
     for profile in apps:
         # Steady-state runs must not see departures; give everyone ample work.
@@ -214,6 +223,7 @@ def summarize_mix_run(
         server_throughput=sum(throughput.values()),
         mean_wall_power_w=mean_wall,
         fault_stats=mediator.fault_stats,
+        metrics=mediator.export_metrics(),
     )
 
 
@@ -271,6 +281,9 @@ class DynamicExperimentResult:
         crashed: Applications force-departed by an injected crash (they are
             *not* in ``completed`` - a crash is not a completion).
         fault_stats: Resilience counters of the run.
+        metrics: The run's exported metrics JSON (counters, gauges,
+            histograms, per-phase profile), same shape as
+            :attr:`MixExperimentResult.metrics`.
     """
 
     policy: str
@@ -282,6 +295,7 @@ class DynamicExperimentResult:
     events: dict[str, int]
     crashed: tuple[str, ...] = ()
     fault_stats: FaultStats | None = None
+    metrics: dict | None = None
 
 
 def run_dynamic_experiment(
@@ -298,6 +312,7 @@ def run_dynamic_experiment(
     seed: int = 0,
     faults: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
+    trace_bus: TraceBus | None = None,
 ) -> DynamicExperimentResult:
     """Replay an arrival schedule against one mediated server.
 
@@ -336,6 +351,7 @@ def run_dynamic_experiment(
         seed=seed,
         faults=faults,
         resilience=resilience,
+        trace_bus=trace_bus,
     )
     admitted: list[str] = []
     rejected: list[str] = []
@@ -391,10 +407,15 @@ def run_dynamic_experiment(
         throughputs.append(
             (handle.work_done / elapsed) / mediator.peak_rate_of(name)
         )
-    events: dict[str, int] = {}
+    # Event counts ride the run's metrics registry (one source of truth for
+    # exported counters) and come back out as the result's plain dict.
     for event in mediator.accountant.event_log:
-        kind = type(event).__name__
-        events[kind] = events.get(kind, 0) + 1
+        mediator.metrics.counter(f"events.{type(event).__name__}").inc()
+    events = {
+        name[len("events.") :]: int(value)
+        for name, value in mediator.metrics.counters().items()
+        if name.startswith("events.")
+    }
     verify_cap_invariant(mediator)
     return DynamicExperimentResult(
         policy=policy.name,
@@ -408,4 +429,5 @@ def run_dynamic_experiment(
         events=events,
         crashed=crashed,
         fault_stats=mediator.fault_stats,
+        metrics=mediator.export_metrics(),
     )

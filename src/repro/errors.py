@@ -116,6 +116,23 @@ class JournalError(PersistenceError):
     """
 
 
+class ObservabilityError(ReproError):
+    """Observability data (trace or metrics JSON) is invalid or inconsistent.
+
+    Like :class:`PersistenceError`, the message is always a single line
+    naming what failed and where, so the CLI can surface it verbatim.
+    """
+
+
+class TraceError(ObservabilityError):
+    """A trace file is unreadable, malformed, or violates a run invariant.
+
+    Examples: a JSONL line that does not parse, a sequence-number gap, a
+    tick event whose wall power exceeds the recorded cap without a breach
+    flag, or a battery state of charge outside [0, 1].
+    """
+
+
 class ChaosError(ReproError):
     """A chaos-soak run violated a recovery invariant.
 

@@ -1,0 +1,50 @@
+"""Observability: structured tracing, metrics, and phase profiling.
+
+Three cooperating layers, all optional and zero-cost when unused:
+
+* :mod:`repro.observability.trace` — a per-run :class:`TraceBus` collecting
+  typed per-tick events (knob actuation, allocation decisions, coordination
+  mode switches, battery flow, faults/recoveries, checkpoint/replay
+  markers) written as canonical JSONL with a content hash. Same seed ⇒
+  byte-identical trace; the golden-trace suite pins that.
+* :mod:`repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters, gauges, and windowed histograms, exportable to JSON for the
+  benchmark trajectory.
+* :mod:`repro.observability.profiling` — :class:`PhaseProfiler` wall-clock
+  timers around the mediator's learn/allocate/coordinate/actuate phases.
+  Timings go into the metrics JSON only, never into the trace, so the
+  trace hash stays deterministic.
+"""
+
+from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.observability.profiling import PhaseProfiler
+from repro.observability.trace import (
+    NULL_TRACE_BUS,
+    TRACE_SCHEMA_VERSION,
+    NullTraceBus,
+    TraceBus,
+    TraceEvent,
+    read_trace,
+    summarize_trace,
+    trace_hash,
+    verify_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "NULL_TRACE_BUS",
+    "NullTraceBus",
+    "TRACE_SCHEMA_VERSION",
+    "TraceBus",
+    "TraceEvent",
+    "read_trace",
+    "summarize_trace",
+    "trace_hash",
+    "verify_trace",
+    "write_trace",
+]

@@ -1,0 +1,66 @@
+"""Per-phase wall-clock timers for the mediator's control loop.
+
+A :class:`PhaseProfiler` accumulates elapsed wall-clock time per named phase
+(learn, allocate, coordinate, actuate, engine, ...) via a context manager
+that costs two ``perf_counter`` calls — cheap enough to leave on always.
+
+Timings are *execution* facts, not simulation facts: they vary run to run
+on the same seed. They therefore live only in the metrics JSON and must
+never be emitted on the trace bus, or the trace hash would stop being
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = ["PhaseProfiler"]
+
+
+class _PhaseStat:
+    __slots__ = ("calls", "total_s", "max_s")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed_s
+        if elapsed_s > self.max_s:
+            self.max_s = elapsed_s
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time per named phase of the control loop."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._phases: dict[str, _PhaseStat] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        stat = self._phases.get(name)
+        if stat is None:
+            stat = self._phases[name] = _PhaseStat()
+        start = self._clock()
+        try:
+            yield
+        finally:
+            stat.add(self._clock() - start)
+
+    def report(self) -> dict[str, dict[str, Any]]:
+        """Per-phase call counts and totals, sorted by cumulative time."""
+        ordered = sorted(self._phases.items(), key=lambda item: -item[1].total_s)
+        return {
+            name: {
+                "calls": stat.calls,
+                "total_s": stat.total_s,
+                "mean_s": stat.total_s / stat.calls if stat.calls else 0.0,
+                "max_s": stat.max_s,
+            }
+            for name, stat in ordered
+        }

@@ -36,6 +36,7 @@ from typing import Callable
 from repro.core.mediator import PowerMediator
 from repro.errors import CheckpointError, ReproError
 from repro.learning.sampling import Sampler
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.persistence.checkpoint import (
     RunRecipe,
     read_checkpoint,
@@ -194,6 +195,13 @@ class Supervisor:
             bytes from the journal tail - clamped so fsynced bytes never
             disappear - to exercise the torn-tail rule.
         max_restarts: Hard stop against a deterministically crashing loop.
+        trace_bus: Optional trace sink. The supervisor attaches it to every
+            mediator incarnation, records the bus mark alongside each
+            checkpoint, and on recovery truncates to the restored
+            checkpoint's mark before replay - so the stitched sim stream
+            hashes identically to an uninterrupted run (when
+            ``safe_hold_ticks`` is 0). Crash/restore forensics land in the
+            trace as meta events, outside the hash.
     """
 
     JOURNAL_NAME = "journal.jsonl"
@@ -211,6 +219,7 @@ class Supervisor:
         safe_hold_ticks: int = 0,
         tear_journal_bytes_on_crash: int = 0,
         max_restarts: int = 50,
+        trace_bus: TraceBus | None = None,
     ) -> None:
         self._recipe = recipe
         self._script = list(script)
@@ -227,6 +236,10 @@ class Supervisor:
         self._journal: JournalWriter | None = None
         self._pos = _Position()
         self._ticks_since_checkpoint = 0
+        self._trace = NULL_TRACE_BUS if trace_bus is None else trace_bus
+        # Checkpoint file name -> bus mark (the seq the next sim event gets)
+        # at snapshot time. In-memory only: traces belong to one process run.
+        self._bus_marks: dict[str, int] = {}
 
     @property
     def stats(self) -> RecoveryStats:
@@ -252,6 +265,8 @@ class Supervisor:
             CheckpointError: if recovery exceeds ``max_restarts``.
         """
         self._mediator = self._recipe.build()
+        if self._trace.active:
+            self._mediator.attach_trace_bus(self._trace)
         self._journal = JournalWriter(
             self.journal_path, fsync_every_ticks=self._fsync_every_ticks
         )
@@ -268,6 +283,14 @@ class Supervisor:
                     raise CheckpointError(
                         f"gave up after {self._stats.restarts} restarts: {exc}"
                     ) from exc
+                if self._trace.active:
+                    self._trace.emit_meta(
+                        "crash",
+                        {
+                            "reason": "hang" if isinstance(exc, MediatorHung) else "kill",
+                            "restarts_so_far": self._stats.restarts,
+                        },
+                    )
                 self._crash_journal()
                 self._recover()
         self._journal.close()
@@ -344,6 +367,13 @@ class Supervisor:
             command=self._pos.command,
             end_s=self._pos.end_s,
         )
+        if self._trace.active:
+            # The mark pins the sim-event prefix this snapshot captured;
+            # recovery truncates back to it before replay re-emits the rest.
+            self._bus_marks[path.name] = self._trace.mark()
+            self._trace.emit_meta(
+                "checkpoint", {"tick": self._mediator.tick_count, "path": path.name}
+            )
         self._ticks_since_checkpoint = 0
         self._stats.checkpoints_written += 1
 
@@ -377,12 +407,30 @@ class Supervisor:
         marker = records[marker_at]
         doc = read_checkpoint(self._workdir / marker["path"])
         self._mediator = restore_mediator(doc)
+        if self._trace.active:
+            # Rewind the sim stream to the snapshot's prefix, note the
+            # restore for forensics, then re-attach so replay (and the rest
+            # of the run) re-emits onto the same bus. attach_trace_bus syncs
+            # the tick cursor from the restored timeline, so re-applied
+            # commands stamp exactly as they did pre-crash.
+            mark = self._bus_marks.get(marker["path"])
+            dropped = 0 if mark is None else self._trace.truncate_to_mark(mark)
+            self._trace.emit_meta(
+                "restore",
+                {
+                    "tick": self._mediator.tick_count,
+                    "checkpoint": marker["path"],
+                    "dropped_events": dropped,
+                },
+            )
+            self._mediator.attach_trace_bus(self._trace)
         self._credit_restored_learning()
         self._pos = _Position(
             command=int(marker["command"]),
             end_s=None if marker["end_s"] is None else float(marker["end_s"]),
         )
         tail = records[marker_at + 1 :]
+        replayed_ticks = 0
         for rec in tail:
             if rec["op"] == "command":
                 command = command_from_dict(rec["command"])
@@ -397,7 +445,12 @@ class Supervisor:
             elif rec["op"] == "tick":
                 self._mediator.step()
                 self._stats.downtime_ticks += 1
+                replayed_ticks += 1
         self._stats.journal_records_replayed += len(tail)
+        if self._trace.active:
+            self._trace.emit_meta(
+                "replayed", {"records": len(tail), "ticks": replayed_ticks}
+            )
         self._stats.restarts += 1
         last_seq = records[-1]["seq"]
         self._journal = JournalWriter(

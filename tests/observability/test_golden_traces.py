@@ -1,0 +1,48 @@
+"""Golden-trace regression: the three pinned Table II runs (one per
+coordination regime) must replay to their recorded content hashes.
+
+When a change intentionally moves behaviour, regenerate the file and review
+its diff::
+
+    PYTHONPATH=src python -m repro.observability.golden \
+        tests/golden/golden_traces.json --write
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.observability.golden import GoldenSpec, load_specs, run_spec, save_specs
+
+GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "golden_traces.json"
+
+SPECS = load_specs(GOLDEN)
+
+
+def test_golden_file_pins_all_three_regimes():
+    assert {spec.regime for spec in SPECS} == {"space", "time", "esd"}
+    assert all(spec.trace_hash for spec in SPECS), (
+        "golden file has unrecorded specs; run the regen command in this "
+        "module's docstring"
+    )
+
+
+@pytest.mark.parametrize("spec", SPECS, ids=[s.name for s in SPECS])
+def test_golden_trace_replays_to_recorded_hash(spec: GoldenSpec):
+    outcome = run_spec(spec)
+    assert outcome.dominant_mode == spec.regime, (
+        f"{spec.name} settled into {outcome.dominant_mode!r} "
+        f"(modes {outcome.modes}), expected the {spec.regime!r} regime"
+    )
+    assert outcome.trace_hash == spec.trace_hash, (
+        f"{spec.name}: trace hash changed - behaviour drifted somewhere in "
+        "the mediation stack. If intentional, regenerate the golden file "
+        "(see module docstring) and review the mode-residency diff."
+    )
+    assert outcome.modes == spec.modes
+
+
+def test_specs_round_trip_through_save(tmp_path):
+    path = tmp_path / "golden.json"
+    save_specs(path, SPECS)
+    assert load_specs(path) == SPECS

@@ -1,0 +1,127 @@
+"""Integration: the instrumented mediator produces deterministic traces and
+a complete metrics/profiling export (the PR's acceptance criteria)."""
+
+import pytest
+
+from repro.core.simulation import run_mix_experiment
+from repro.observability.trace import (
+    TraceBus,
+    summarize_trace,
+    verify_trace,
+    write_trace,
+)
+from repro.workloads.mixes import get_mix
+
+
+def _traced_run(
+    policy: str = "app+res-aware",
+    cap_w: float = 80.0,
+    *,
+    seed: int = 0,
+    oracle: bool = True,
+    duration_s: float = 6.0,
+):
+    bus = TraceBus()
+    result = run_mix_experiment(
+        list(get_mix(10).profiles()),
+        policy,
+        cap_w,
+        mix_id=10,
+        duration_s=duration_s,
+        warmup_s=2.0,
+        use_oracle_estimates=oracle,
+        seed=seed,
+        trace_bus=bus,
+    )
+    return bus, result
+
+
+class TestDeterminism:
+    def test_identical_seeded_runs_produce_byte_identical_traces(self, tmp_path):
+        bus_a, _ = _traced_run()
+        bus_b, _ = _traced_run()
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_trace(path_a, bus_a)
+        write_trace(path_b, bus_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+        assert bus_a.content_hash() == bus_b.content_hash()
+
+    def test_learning_runs_are_equally_deterministic(self):
+        bus_a, _ = _traced_run(oracle=False, duration_s=4.0)
+        bus_b, _ = _traced_run(oracle=False, duration_s=4.0)
+        assert bus_a.content_hash() == bus_b.content_hash()
+
+    def test_different_cap_changes_hash(self):
+        bus_a, _ = _traced_run(cap_w=80.0)
+        bus_b, _ = _traced_run(cap_w=100.0)
+        assert bus_a.content_hash() != bus_b.content_hash()
+
+
+class TestTraceContent:
+    def test_trace_verifies_and_covers_the_run(self):
+        bus, _ = _traced_run()
+        checks = verify_trace(bus.events)
+        summary = summarize_trace(bus.events)
+        assert checks["ticks"] == 80  # (2 s warmup + 6 s) / 0.1 s
+        assert summary["kinds"]["arrival"] == 2
+        assert summary["kinds"]["allocation"] >= 1
+        assert summary["kinds"]["cap-change"] >= 1
+        assert summary["kinds"]["knob-actuation"] >= 1
+
+    def test_time_mode_does_not_flood_suspend_events(self):
+        bus, _ = _traced_run(cap_w=80.0)  # mix 10 @ 80 W settles into TIME
+        summary = summarize_trace(bus.events)
+        assert summary["modes"].get("time", 0) > 0
+        # Duty-cycling holds ~half the ticks in an OFF slot; events must
+        # mark only actual transitions, not every suspended tick.
+        assert summary["kinds"].get("suspend", 0) < summary["ticks"] / 2
+
+    def test_esd_run_traces_battery_flows(self):
+        bus, _ = _traced_run(policy="app+res+esd-aware", cap_w=80.0)
+        summary = summarize_trace(bus.events)
+        assert summary["modes"].get("esd", 0) > 0
+        assert summary["kinds"].get("battery", 0) > 0
+        verify_trace(bus.events)  # includes the soc-in-[0,1] invariant
+
+
+class TestMetricsExport:
+    def test_metrics_in_result_with_profile(self):
+        _, result = _traced_run()
+        doc = result.metrics
+        assert doc is not None
+        assert doc["counters"]["mediator.ticks"] == 80
+        assert doc["counters"]["mediator.reallocations"] >= 1
+        assert "resilience.breach_ticks" in doc["counters"]
+        assert doc["gauges"]["mediator.managed_apps"] == 2
+        assert doc["histograms"]["mediator.wall_w"]["count"] == 80
+
+    def test_profile_covers_every_phase(self):
+        _, result = _traced_run()
+        profile = result.metrics["profile"]
+        for phase in ("learn", "allocate", "coordinate", "actuate", "engine",
+                      "telemetry", "events"):
+            assert phase in profile, f"missing phase {phase}"
+            assert profile[phase]["calls"] > 0
+            assert profile[phase]["total_s"] >= 0.0
+
+    def test_untraced_run_still_exports_metrics(self):
+        result = run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res-aware",
+            80.0,
+            mix_id=10,
+            duration_s=3.0,
+            warmup_s=1.0,
+            use_oracle_estimates=True,
+            seed=0,
+        )
+        assert result.metrics["counters"]["mediator.ticks"] == 40
+
+
+class TestTraceTimingIndependence:
+    def test_profiling_never_lands_in_the_trace(self):
+        bus, result = _traced_run()
+        assert result.metrics["profile"]  # timings exist...
+        for event in bus.events:  # ...but no event payload carries them
+            assert "total_s" not in event.payload
+            assert "profile" not in event.payload

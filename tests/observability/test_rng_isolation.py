@@ -1,0 +1,78 @@
+"""RNG-isolation audit: trace determinism rests on no component touching
+global RNG state. Two layers: a static scan of ``src/`` that only admits
+seeded ``np.random.default_rng`` construction, and a runtime check that a
+full mix run leaves both global generators (stdlib and numpy legacy)
+byte-identically where it found them."""
+
+import pickle
+import random
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.simulation import run_mix_experiment
+from repro.workloads.mixes import get_mix
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+# The one sanctioned construction: an explicitly seeded generator object.
+_ALLOWED_NP = re.compile(r"np\.random\.(default_rng|Generator|BitGenerator)\b")
+_NP_RANDOM_USE = re.compile(r"np\.random\.\w+")
+# Bare stdlib-random calls (``random.random()``, ``random.seed`` ...).
+# ``foo.random.x`` or local names ending in ``random`` don't match.
+_STDLIB_RANDOM_USE = re.compile(r"(?<![\w.])random\.\w+")
+_IMPORT_RANDOM = re.compile(r"^\s*(import random\b|from random import)", re.MULTILINE)
+
+
+def _source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+class TestStaticAudit:
+    def test_no_global_numpy_random_calls(self):
+        offenders = []
+        for path in _source_files():
+            for line_no, line in enumerate(path.read_text().splitlines(), 1):
+                for match in _NP_RANDOM_USE.finditer(line):
+                    if not _ALLOWED_NP.match(match.group(0), 0):
+                        offenders.append(f"{path}:{line_no}: {line.strip()}")
+        assert not offenders, (
+            "global numpy RNG use (only seeded np.random.default_rng is "
+            "allowed):\n" + "\n".join(offenders)
+        )
+
+    def test_no_stdlib_random_module(self):
+        offenders = []
+        for path in _source_files():
+            text = path.read_text()
+            if _IMPORT_RANDOM.search(text):
+                offenders.append(f"{path}: imports the stdlib random module")
+            for line_no, line in enumerate(text.splitlines(), 1):
+                if _STDLIB_RANDOM_USE.search(line) and "np.random" not in line:
+                    offenders.append(f"{path}:{line_no}: {line.strip()}")
+        assert not offenders, (
+            "stdlib random usage (unseedable global state):\n" + "\n".join(offenders)
+        )
+
+
+class TestRuntimeAudit:
+    def test_mix_run_leaves_global_rng_state_untouched(self):
+        random.seed(1234)
+        np.random.seed(5678)
+        stdlib_before = random.getstate()
+        numpy_before = pickle.dumps(np.random.get_state())
+        run_mix_experiment(
+            list(get_mix(10).profiles()),
+            "app+res-aware",
+            80.0,
+            mix_id=10,
+            duration_s=4.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+            seed=0,
+        )
+        assert random.getstate() == stdlib_before
+        assert pickle.dumps(np.random.get_state()) == numpy_before

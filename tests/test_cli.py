@@ -159,3 +159,97 @@ class TestFaultsFlag:
         out = capsys.readouterr().out
         assert code == 0
         assert "faults" in out
+
+
+def _mix_args(trace_path, metrics_path=None, extra=()):
+    args = [
+        "mix", "--mix", "10", "--cap", "80", "--oracle",
+        "--duration", "4", "--warmup", "2",
+        "--trace-out", str(trace_path),
+    ]
+    if metrics_path is not None:
+        args += ["--metrics-out", str(metrics_path)]
+    return args + list(extra)
+
+
+class TestObservabilityFlags:
+    def test_mix_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run-metrics.json"
+        code = main(_mix_args(trace_path, metrics_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sha256" in out
+        assert trace_path.exists() and metrics_path.exists()
+        doc = json.loads(metrics_path.read_text())
+        assert doc["counters"]["mediator.ticks"] == 60
+        assert "learn" in doc["profile"]
+
+    def test_mix_trace_is_deterministic_across_invocations(self, capsys, tmp_path):
+        path_a, path_b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(_mix_args(path_a)) == 0
+        assert main(_mix_args(path_b)) == 0
+        capsys.readouterr()
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_supervised_mix_traces_with_checkpoint_meta(self, capsys, tmp_path):
+        trace_path = tmp_path / "sup.jsonl"
+        code = main(
+            _mix_args(
+                trace_path,
+                extra=["--checkpoint-dir", str(tmp_path / "ckpt"),
+                       "--checkpoint-every", "20"],
+            )
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert '"checkpoint"' in trace_path.read_text()
+
+    def test_trace_summarize(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        main(_mix_args(trace_path))
+        capsys.readouterr()
+        code = main(["trace", "summarize", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified ok" in out
+        assert "ticks 60" in out
+        assert "modes:" in out
+
+    def test_trace_summarize_missing_file_exits_2(self, capsys):
+        code = main(["trace", "summarize", "/nonexistent/run.jsonl"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_trace_summarize_corrupt_file_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"seq": 0\n')
+        code = main(["trace", "summarize", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "line 1" in captured.err
+
+    def test_trace_summarize_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "frobnicate", "x.jsonl"])
+
+    def test_chaos_trace_flag_reports_stitching(self, capsys, tmp_path):
+        code = main(
+            [
+                "chaos", "--mix", "10", "--cap", "80", "--oracle",
+                "--runs", "1", "--kills", "1",
+                "--duration", "4", "--warmup", "2",
+                "--checkpoint-every", "15", "--trace",
+                "--metrics-out", str(tmp_path / "soak.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace-stitched" in out
+        assert (tmp_path / "soak.json").exists()
