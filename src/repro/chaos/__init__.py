@@ -18,13 +18,27 @@ from repro.chaos.harness import (
     run_chaos_soak,
     run_script,
 )
+from repro.chaos.partition import (
+    PartitionChaosResult,
+    PartitionSoakResult,
+    kill_outages,
+    partition_schedule,
+    run_partition_chaos,
+    run_partition_soak,
+)
 
 __all__ = [
     "ChaosRunResult",
     "ChaosSoakResult",
+    "PartitionChaosResult",
+    "PartitionSoakResult",
+    "kill_outages",
     "kill_schedule",
     "mix_recipe",
+    "partition_schedule",
     "run_chaos_mix",
     "run_chaos_soak",
+    "run_partition_chaos",
+    "run_partition_soak",
     "run_script",
 ]

@@ -1,0 +1,292 @@
+"""Partition chaos: seeded network-schedule soaks for the cluster control plane.
+
+The kill/restart harness (:mod:`repro.chaos.harness`) attacks one mediator's
+process; this module attacks the fabric *between* the cluster controller and
+its nodes. Each run composes three stressors, all derived from one chaos
+seed:
+
+* a lossy, reordering network (loss/duplication/jitter up to the configured
+  severity);
+* partition windows cutting random node subsets off the controller for a
+  bounded fraction of the schedule;
+* node kills drawn by the same :func:`~repro.chaos.harness.kill_schedule`
+  arithmetic the crash-tolerance soak uses, converted into
+  :class:`~repro.cluster.cluster.NodeOutage` windows.
+
+The control plane replays the schedule and the soak enforces the defining
+invariant - **the sum of effective node caps never exceeds the cluster
+budget at any step** - plus convergence hygiene after a clean drain phase
+(no zombie caps: every extra a node still enforces is covered by a grant the
+controller accounts for). Violations raise
+:class:`~repro.errors.ChaosError` with the offending seed, so a failing
+schedule is reproducible from its number alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chaos.harness import kill_schedule
+from repro.cluster.cluster import NodeOutage, validate_outages
+from repro.cluster.controlplane import (
+    ControlPlaneConfig,
+    ControlPlaneOutcome,
+    run_control_plane,
+)
+from repro.errors import ChaosError, ConfigurationError, SimulationError
+from repro.netsim import NetConfig, PartitionWindow
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
+
+
+def partition_schedule(
+    n_steps: int,
+    n_nodes: int,
+    *,
+    windows: int,
+    max_fraction: float,
+    seed: int,
+) -> tuple[PartitionWindow, ...]:
+    """Draw up to ``windows`` partition cuts covering at most
+    ``max_fraction`` of the schedule (per window, and therefore per node).
+
+    Each window cuts a random non-empty subset of at most half the fleet -
+    a majority of nodes always stays connected, matching the hub-and-spoke
+    topology's realistic failure unit (a rack uplink, not the whole fabric).
+    """
+    if not 0.0 <= max_fraction <= 1.0:
+        raise ConfigurationError("max_fraction must be in [0, 1]")
+    if windows <= 0 or n_steps < 4 or max_fraction == 0.0:
+        return ()
+    rng = np.random.default_rng(seed)
+    longest = max(1, int(max_fraction * n_steps))
+    cuts = []
+    for _ in range(windows):
+        length = int(rng.integers(1, longest + 1))
+        start = int(rng.integers(0, max(1, n_steps - length)))
+        width = int(rng.integers(1, max(2, n_nodes // 2 + 1)))
+        nodes = tuple(
+            int(n) for n in rng.choice(n_nodes, size=min(width, n_nodes), replace=False)
+        )
+        cuts.append(
+            PartitionWindow(start_step=start, end_step=start + length, nodes=nodes)
+        )
+    return tuple(cuts)
+
+
+def kill_outages(
+    n_steps: int,
+    n_nodes: int,
+    *,
+    kills: int,
+    max_down_steps: int,
+    seed: int,
+) -> tuple[NodeOutage, ...]:
+    """Convert a :func:`kill_schedule` draw into node-outage windows.
+
+    Each kill tick takes one random node down for a random (bounded)
+    duration. Same-node overlaps are skipped rather than merged, so the
+    result always satisfies :func:`~repro.cluster.cluster.validate_outages`.
+    """
+    ticks = kill_schedule(n_steps, kills, seed)
+    if not ticks:
+        return ()
+    rng = np.random.default_rng(seed + 1)  # node/duration draws, kill ticks above
+    busy_until: dict[int, int] = {}
+    outages = []
+    for tick in ticks:
+        node = int(rng.integers(0, n_nodes))
+        duration = int(rng.integers(1, max_down_steps + 1))
+        if tick < busy_until.get(node, 0):
+            continue
+        end = min(tick + duration, n_steps)
+        if end <= tick:
+            continue
+        outages.append(NodeOutage(server=node, start_step=tick, end_step=end))
+        busy_until[node] = end
+    return validate_outages(
+        tuple(outages), n_steps=n_steps, n_servers=n_nodes
+    )
+
+
+@dataclass(frozen=True)
+class PartitionChaosResult:
+    """One seeded partition-chaos run (invariants already enforced).
+
+    Attributes:
+        seed: The chaos seed every stressor was derived from.
+        outcome: The control-plane replay (caps, epochs, network stats).
+        loss: Message-loss probability the run suffered.
+        partition_steps: Total node-steps spent cut off from the controller.
+        killed_node_steps: Total node-steps spent dead.
+        headroom_w: ``budget - max_total_cap`` - how close the schedule came
+            to the invariant boundary (never negative; a negative value
+            would have raised).
+    """
+
+    seed: int
+    outcome: ControlPlaneOutcome
+    loss: float
+    partition_steps: int
+    killed_node_steps: int
+
+    @property
+    def headroom_w(self) -> float:
+        return self.outcome.budget_w - self.outcome.max_total_cap_w
+
+
+@dataclass(frozen=True)
+class PartitionSoakResult:
+    """Aggregate of a partition-chaos soak (every run already passed)."""
+
+    runs: tuple[PartitionChaosResult, ...]
+
+    @property
+    def min_headroom_w(self) -> float:
+        return min((r.headroom_w for r in self.runs), default=0.0)
+
+    @property
+    def total_partition_steps(self) -> int:
+        return sum(r.partition_steps for r in self.runs)
+
+    @property
+    def total_killed_node_steps(self) -> int:
+        return sum(r.killed_node_steps for r in self.runs)
+
+
+def run_partition_chaos(
+    *,
+    seed: int,
+    n_nodes: int = 10,
+    n_steps: int = 120,
+    budget_w: float = 800.0,
+    loss: float = 0.3,
+    partition_fraction: float = 0.25,
+    partition_windows: int = 2,
+    kills: int = 2,
+    config: ControlPlaneConfig | None = None,
+    quantum_w: float = 2.0,
+    drain_steps: int = 40,
+    trace_bus: TraceBus = NULL_TRACE_BUS,
+    metrics: MetricsRegistry | None = None,
+) -> PartitionChaosResult:
+    """One composed network-chaos run against the cap-distribution protocol.
+
+    The load schedule, partition windows, kill outages, and network draws
+    all derive from ``seed``; the run is exactly reproducible from it. The
+    network is lossy for the scheduled portion and clean during the drain
+    (``lossy_until_step``), so convergence checks are deterministic rather
+    than probabilistic.
+
+    Raises:
+        ChaosError: if the aggregate-cap invariant is violated at any step,
+            or the drained system still holds zombie caps.
+    """
+    if not 0.0 <= loss < 1.0:
+        raise ConfigurationError(f"loss must be in [0, 1), got {loss}")
+    rng = np.random.default_rng(seed)
+    # A coarse diurnal-ish load walk: ramps up, plateaus, ramps down, with
+    # seeded wobble - enough load churn to keep grants moving.
+    loads = []
+    k = int(rng.integers(n_nodes // 2, n_nodes + 1))
+    for _ in range(n_steps):
+        k = int(np.clip(k + int(rng.integers(-1, 2)), 0, n_nodes))
+        loads.append(k)
+    partitions = partition_schedule(
+        n_steps,
+        n_nodes,
+        windows=partition_windows,
+        max_fraction=partition_fraction,
+        seed=seed + 101,
+    )
+    outages = kill_outages(
+        n_steps,
+        n_nodes,
+        kills=kills,
+        max_down_steps=max(2, n_steps // 8),
+        seed=seed + 202,
+    )
+    down_sets = [
+        frozenset(o.server for o in outages if o.down_at(t)) for t in range(n_steps)
+    ]
+    net = NetConfig(
+        latency_steps=0,
+        jitter_steps=2,
+        loss=loss,
+        duplicate=min(1.0, loss / 2),
+        partitions=partitions,
+        lossy_until_step=n_steps,
+        seed=seed,
+    )
+    try:
+        outcome = run_control_plane(
+            n_nodes=n_nodes,
+            budget_w=budget_w,
+            loaded_counts=loads,
+            down_sets=down_sets,
+            net=net,
+            config=config,
+            quantum_w=quantum_w,
+            drain_steps=drain_steps,
+            trace_bus=trace_bus,
+            metrics=metrics,
+        )
+    except SimulationError as exc:
+        raise ChaosError(f"partition chaos seed {seed}: {exc}") from None
+    if not outcome.zombie_free:
+        raise ChaosError(
+            f"partition chaos seed {seed}: a node still enforces an extra "
+            f"the controller no longer accounts for after the drain"
+        )
+    partition_steps = sum(
+        len(w.nodes) * (w.end_step - w.start_step) for w in partitions
+    )
+    return PartitionChaosResult(
+        seed=seed,
+        outcome=outcome,
+        loss=loss,
+        partition_steps=partition_steps,
+        killed_node_steps=sum(len(d) for d in down_sets),
+    )
+
+
+def run_partition_soak(
+    *,
+    seeds: list[int],
+    n_nodes: int = 10,
+    n_steps: int = 120,
+    budget_w: float = 800.0,
+    max_loss: float = 0.3,
+    partition_fraction: float = 0.25,
+    kills: int = 2,
+    config: ControlPlaneConfig | None = None,
+) -> PartitionSoakResult:
+    """Repeat :func:`run_partition_chaos` across a seed matrix.
+
+    Loss severity sweeps deterministically from mild to ``max_loss`` across
+    the matrix, so one soak covers the whole severity range rather than
+    hammering a single operating point.
+
+    Raises:
+        ChaosError: on the first seed violating any invariant.
+    """
+    if not seeds:
+        raise ConfigurationError("soak needs at least one seed")
+    runs = []
+    for index, seed in enumerate(seeds):
+        loss = max_loss * (index + 1) / len(seeds)
+        runs.append(
+            run_partition_chaos(
+                seed=seed,
+                n_nodes=n_nodes,
+                n_steps=n_steps,
+                budget_w=budget_w,
+                loss=loss,
+                partition_fraction=partition_fraction,
+                kills=kills,
+                config=config,
+            )
+        )
+    return PartitionSoakResult(runs=tuple(runs))

@@ -21,6 +21,8 @@ Examples::
     python -m repro compare --cap 80 --mixes 1,10,14 --policies util-unaware,app+res-aware
     python -m repro utility --app stream
     python -m repro cluster --fast
+    python -m repro cluster --fast --loss 0.2 --partition 3:8:1+2 --outage 0:6:10
+    python -m repro cluster --chaos 5
 """
 
 from __future__ import annotations
@@ -41,16 +43,31 @@ from repro.core.simulation import (
     summarize_mix_run,
 )
 from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
-from repro.errors import ChaosError, FaultError, ObservabilityError, PersistenceError
+from repro.errors import (
+    ChaosError,
+    ConfigurationError,
+    FaultError,
+    NetworkError,
+    ObservabilityError,
+    PersistenceError,
+)
 from repro.faults import FaultPlan, default_fault_plan
+from repro.netsim import NetConfig, PartitionWindow
+from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import (
+    CONTROL_PLANE_KINDS,
     TraceBus,
     read_trace,
     summarize_trace,
     verify_trace,
     write_trace,
 )
-from repro.cluster.cluster import ClusterSimulator
+from repro.cluster.cluster import (
+    ClusterSimulator,
+    NodeOutage,
+    outages_from_fault_plan,
+    validate_outages,
+)
 from repro.learning.crossval import calibrate_sampling_fraction
 from repro.server.config import ServerConfig
 from repro.workloads.catalog import CATALOG, application_names, get_application
@@ -78,6 +95,34 @@ def _load_fault_plan(arg: str | None) -> FaultPlan | None:
         return FaultPlan.load(arg)
     except FaultError as exc:
         raise SystemExit(f"error: {exc}") from None
+
+
+def _parse_partition(spec: str) -> PartitionWindow:
+    """Parse a ``START:END:N1+N2`` partition window ([start, end) steps)."""
+    try:
+        start_s, end_s, nodes_s = spec.split(":")
+        start, end = int(start_s), int(end_s)
+        nodes = tuple(int(n) for n in nodes_s.split("+") if n)
+    except ValueError:
+        raise NetworkError(
+            f"--partition expects START:END:N1+N2..., got {spec!r}"
+        ) from None
+    return PartitionWindow(start_step=start, end_step=end, nodes=nodes)
+
+
+def _parse_outage(spec: str) -> NodeOutage:
+    """Parse a ``SERVER:START:END`` outage window ([start, end) steps)."""
+    try:
+        server_s, start_s, end_s = spec.split(":")
+        server, start, end = int(server_s), int(start_s), int(end_s)
+    except ValueError:
+        raise NetworkError(
+            f"--outage expects SERVER:START:END, got {spec!r}"
+        ) from None
+    try:
+        return NodeOutage(server=server, start_step=start, end_step=end)
+    except ConfigurationError as exc:
+        raise NetworkError(f"--outage {spec!r}: {exc}") from None
 
 
 def _print_resilience(fault_stats, total_ticks: int) -> None:
@@ -453,20 +498,101 @@ def cmd_zones(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_partition_soak(args: argparse.Namespace) -> int:
+    """``cluster --chaos N``: the partition-chaos soak instead of Fig. 12."""
+    from repro.chaos import run_partition_soak
+
+    soak = run_partition_soak(
+        seeds=list(range(args.seed, args.seed + args.chaos)),
+        max_loss=args.loss if args.loss > 0.0 else 0.3,
+    )
+    print(banner(f"partition chaos soak: {len(soak.runs)} seeded schedules"))
+    rows = [
+        [
+            run.seed,
+            f"{run.loss:.0%}",
+            run.partition_steps,
+            run.killed_node_steps,
+            run.headroom_w,
+            run.outcome.final_epoch,
+            run.outcome.net_stats["dropped_loss"] + run.outcome.net_stats["dropped_partition"],
+        ]
+        for run in soak.runs
+    ]
+    print(
+        format_table(
+            ["seed", "loss", "cut node-steps", "dead node-steps", "headroom [W]", "epochs", "drops"],
+            rows,
+        )
+    )
+    print(
+        f"all {len(soak.runs)} runs held the budget invariant; "
+        f"min headroom {soak.min_headroom_w:.1f} W over "
+        f"{soak.total_partition_steps} partitioned + "
+        f"{soak.total_killed_node_steps} killed node-steps"
+    )
+    return 0
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
+    if args.chaos:
+        return _cluster_partition_soak(args)
     simulator = ClusterSimulator()
+    step_s = 600.0 if args.fast else 120.0
     trace = ClusterPowerTrace.synthetic_diurnal(
         peak_w=simulator.uncapped_cluster_power_w(),
-        step_s=600.0 if args.fast else 120.0,
+        step_s=step_s,
         seed=args.seed,
     )
+    outages = [_parse_outage(spec) for spec in args.outage or ()]
+    plan = _load_fault_plan(args.faults)
+    if plan is not None:
+        outages.extend(outages_from_fault_plan(plan, step_s=step_s))
+    try:
+        outages = validate_outages(
+            tuple(outages),
+            n_steps=len(trace.demand_w),
+            n_servers=simulator.n_servers,
+        )
+    except ConfigurationError as exc:
+        raise NetworkError(str(exc)) from None
+    partitions = tuple(_parse_partition(spec) for spec in args.partition or ())
+    netsim = None
+    if (
+        args.netsim_seed is not None
+        or args.loss > 0.0
+        or args.latency > 0
+        or args.jitter > 0
+        or partitions
+    ):
+        netsim = NetConfig(
+            latency_steps=args.latency,
+            jitter_steps=args.jitter,
+            loss=args.loss,
+            duplicate=args.loss / 2.0,
+            partitions=partitions,
+            seed=args.netsim_seed if args.netsim_seed is not None else args.seed,
+        )
+    bus = TraceBus() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
     experiment = simulator.run(
         trace=trace,
         duration_s=15.0 if args.fast else 30.0,
         warmup_s=8.0 if args.fast else 12.0,
         seed=args.seed,
+        outages=outages,
+        netsim=netsim,
+        trace_bus=bus,
+        metrics=metrics,
     )
-    print(banner("cluster peak shaving (Fig. 12)"))
+    title = "cluster peak shaving (Fig. 12)"
+    if netsim is not None:
+        title += (
+            f" over lossy net (loss {netsim.loss:.0%}, "
+            f"latency {netsim.latency_steps}+{netsim.jitter_steps} steps, "
+            f"{len(partitions)} partitions)"
+        )
+    print(banner(title))
     rows = []
     for shave in sorted(experiment.results):
         for policy, r in sorted(experiment.results[shave].items()):
@@ -474,6 +600,7 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 [f"{shave:.0%}", policy, r.aggregate_performance, r.budget_efficiency]
             )
     print(format_table(["shave", "policy", "agg perf", "perf/avail-W"], rows))
+    _write_observability(args, bus, metrics.to_json() if metrics is not None else None)
     return 0
 
 
@@ -492,6 +619,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
         f"breach ticks {checks['breach_ticks']}"
     )
     print("kinds: " + ", ".join(f"{k}={v}" for k, v in summary["kinds"].items()))
+    cp = {
+        kind: count
+        for kind, count in summary["kinds"].items()
+        if kind in CONTROL_PLANE_KINDS
+    }
+    if cp:
+        print(
+            f"control plane: {sum(cp.values())} events ("
+            + ", ".join(f"{k.removeprefix('cp-')}={v}" for k, v in sorted(cp.items()))
+            + ")"
+        )
     if summary["modes"]:
         print("modes: " + ", ".join(f"{m}={n}" for m, n in summary["modes"].items()))
     print(f"verified ok; sha256 {summary['hash']}")
@@ -645,6 +783,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_clu = sub.add_parser("cluster", help="cluster peak shaving (Fig. 12)")
     p_clu.add_argument("--fast", action="store_true", help="coarse settings")
     p_clu.add_argument("--seed", type=int, default=1)
+    p_clu.add_argument(
+        "--netsim-seed", type=int, default=None, metavar="SEED",
+        help="distribute caps over the simulated lossy network seeded here "
+        "(any netsim flag enables the control plane; default seed: --seed)",
+    )
+    p_clu.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-message drop probability in [0, 1)",
+    )
+    p_clu.add_argument(
+        "--latency", type=int, default=0, metavar="STEPS",
+        help="base one-way delivery latency in trace steps",
+    )
+    p_clu.add_argument(
+        "--jitter", type=int, default=0, metavar="STEPS",
+        help="uniform extra delivery latency in [0, STEPS]",
+    )
+    p_clu.add_argument(
+        "--partition", action="append", default=None, metavar="START:END:N1+N2",
+        help="cut these servers off the controller for [START, END) steps "
+        "(repeatable)",
+    )
+    p_clu.add_argument(
+        "--outage", action="append", default=None, metavar="SERVER:START:END",
+        help="take a server down for [START, END) steps (repeatable)",
+    )
+    p_clu.add_argument(
+        "--chaos", type=int, default=0, metavar="RUNS",
+        help="run RUNS seeded partition-chaos schedules against the control "
+        "plane instead of the Fig. 12 sweep",
+    )
+    faults_arg(p_clu)
+    observability_args(p_clu)
     p_clu.set_defaults(func=cmd_cluster)
 
     p_place = sub.add_parser("place", help="power-aware job placement (extension)")
@@ -682,9 +853,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     try:
         return int(args.func(args))
-    except (PersistenceError, ChaosError, ObservabilityError) as exc:
-        # Corrupt checkpoints, torn journals, failed soak invariants,
-        # damaged traces: one clear line, never a traceback.
+    except (NetworkError, PersistenceError, ChaosError, ObservabilityError) as exc:
+        # Malformed network/outage schedules, corrupt checkpoints, torn
+        # journals, failed soak invariants, damaged traces: one clear line,
+        # never a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

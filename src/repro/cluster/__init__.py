@@ -21,6 +21,15 @@ from repro.cluster.cluster import (
     ClusterPolicyResult,
     ClusterExperiment,
     NodeOutage,
+    outages_from_fault_plan,
+    validate_outages,
+)
+from repro.cluster.controlplane import (
+    ClusterController,
+    ControlPlaneConfig,
+    ControlPlaneOutcome,
+    NodeAgent,
+    run_control_plane,
 )
 from repro.cluster.manager import (
     CLUSTER_POLICY_NAMES,
@@ -39,7 +48,14 @@ __all__ = [
     "ClusterSimulator",
     "ClusterPolicyResult",
     "ClusterExperiment",
+    "ClusterController",
+    "ControlPlaneConfig",
+    "ControlPlaneOutcome",
+    "NodeAgent",
     "NodeOutage",
+    "outages_from_fault_plan",
+    "run_control_plane",
+    "validate_outages",
     "CLUSTER_POLICY_NAMES",
     "evaluate_equal_policy_bin",
     "evaluate_consolidation_bin",

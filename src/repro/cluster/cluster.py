@@ -28,11 +28,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.cluster.controlplane import ControlPlaneConfig, run_control_plane
 from repro.cluster.manager import (
     CLUSTER_POLICY_NAMES,
     evaluate_equal_policy_bin,
 )
 from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
+from repro.netsim import NetConfig
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NULL_TRACE_BUS, TraceBus
 from repro.server.config import ServerConfig, DEFAULT_SERVER_CONFIG
@@ -71,6 +73,82 @@ class NodeOutage:
 
     def down_at(self, step: int) -> bool:
         return self.start_step <= step < self.end_step
+
+
+def validate_outages(
+    outages: tuple[NodeOutage, ...],
+    *,
+    n_steps: int,
+    n_servers: int,
+) -> tuple[NodeOutage, ...]:
+    """Normalize an outage schedule against a concrete trace and fleet.
+
+    Three rules, matching how the rest of the schedule machinery behaves:
+
+    * Outages naming servers past the fleet are dropped (schedules can be
+      shared across cluster sizes), as are outages starting at or past the
+      end of the trace.
+    * An outage extending past the trace is clamped to the trace end - the
+      extra steps can never be observed, so they are not an error.
+    * Two outages for the *same* server whose intervals overlap are
+      contradictory (is the server down once or twice?) and raise
+      :class:`~repro.errors.ConfigurationError`, naming the offending
+      field ``outages[i].start_step`` the way the persistence schema
+      validators name theirs.
+    """
+    if n_steps <= 0:
+        raise ConfigurationError("outage validation needs a non-empty trace")
+    kept: list[NodeOutage] = []
+    seen: dict[int, list[tuple[int, int, int]]] = {}
+    for index, outage in enumerate(outages):
+        if outage.server >= n_servers or outage.start_step >= n_steps:
+            continue
+        end_step = min(outage.end_step, n_steps)
+        for start2, end2, index2 in seen.get(outage.server, []):
+            if outage.start_step < end2 and start2 < end_step:
+                raise ConfigurationError(
+                    f"outages[{index}].start_step: overlaps outages[{index2}] "
+                    f"for server {outage.server}"
+                )
+        seen.setdefault(outage.server, []).append(
+            (outage.start_step, end_step, index)
+        )
+        if end_step != outage.end_step:
+            outage = NodeOutage(
+                server=outage.server,
+                start_step=outage.start_step,
+                end_step=end_step,
+            )
+        kept.append(outage)
+    return tuple(kept)
+
+
+def outages_from_fault_plan(plan, *, step_s: float) -> tuple[NodeOutage, ...]:
+    """Convert a :class:`~repro.faults.plan.FaultPlan`'s ``node`` specs into
+    :class:`NodeOutage` windows.
+
+    One plan file can then describe single-server substrate faults *and*
+    cluster-level node kills: the per-server injector skips ``node`` specs,
+    this converter skips everything else. Windows are conservative - the
+    outage covers every trace step the fault window touches (floor start,
+    ceil end).
+    """
+    if step_s <= 0:
+        raise ConfigurationError("step_s must be positive")
+    outages = []
+    for spec in plan.specs:
+        if spec.kind != "node":
+            continue
+        start_step = int(np.floor(spec.start_s / step_s))
+        end_step = max(start_step + 1, int(np.ceil(spec.end_s / step_s)))
+        outages.append(
+            NodeOutage(
+                server=int(spec.target),
+                start_step=start_step,
+                end_step=end_step,
+            )
+        )
+    return tuple(outages)
 
 
 @dataclass(frozen=True)
@@ -249,6 +327,8 @@ class ClusterSimulator:
         outages: tuple[NodeOutage, ...] = (),
         trace_bus: TraceBus | None = None,
         metrics: MetricsRegistry | None = None,
+        netsim: NetConfig | None = None,
+        controlplane: ControlPlaneConfig | None = None,
     ) -> ClusterExperiment:
         """Evaluate every strategy at every shaving level.
 
@@ -272,12 +352,25 @@ class ClusterSimulator:
             metrics: Optional registry receiving the
                 ``cluster.bins_evaluated`` / ``cluster.bin_cache_hits``
                 counters that quantify how much the memoization saved.
+            netsim: When set, the equal-split strategies stop being
+                oracles: per-server caps are whatever the lease/epoch
+                control plane (:mod:`repro.cluster.controlplane`) actually
+                got enforced over this lossy network, with outages
+                *inferred* from missed heartbeats rather than read from the
+                schedule. Consolidation keeps its oracle placement (its
+                migration machinery is a baseline, not the system under
+                test). ``None`` (the default) preserves the oracle path
+                bit-for-bit.
+            controlplane: Protocol tunables for the netsim path.
         """
         self._trace = trace_bus if trace_bus is not None else NULL_TRACE_BUS
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         peak_w = self.uncapped_cluster_power_w()
         if trace is None:
             trace = ClusterPowerTrace.synthetic_diurnal(peak_w=peak_w, seed=seed)
+        outages = validate_outages(
+            outages, n_steps=len(trace.demand_w), n_servers=self.n_servers
+        )
         results: dict[float, dict[str, ClusterPolicyResult]] = {}
         cap_traces: dict[float, ClusterPowerTrace] = {}
         for shave in shave_fractions:
@@ -292,6 +385,8 @@ class ClusterSimulator:
                 dt_s=dt_s,
                 seed=seed,
                 outages=outages,
+                netsim=netsim,
+                controlplane=controlplane,
             )
         return ClusterExperiment(results=results, cap_traces=cap_traces)
 
@@ -315,6 +410,8 @@ class ClusterSimulator:
         dt_s: float,
         seed: int,
         outages: tuple[NodeOutage, ...] = (),
+        netsim: NetConfig | None = None,
+        controlplane: ControlPlaneConfig | None = None,
     ) -> dict[str, ClusterPolicyResult]:
         step_s = demand.step_s
         ceiling_w = (1.0 - shave) * demand.peak_w
@@ -352,7 +449,30 @@ class ClusterSimulator:
             raise ConfigurationError("trace offers no load at all")
 
         out: dict[str, ClusterPolicyResult] = {}
-        for policy in ("equal-rapl", "equal-ours"):
+        if netsim is not None:
+            # Non-oracle path: per-server caps come from the lease/epoch
+            # control plane replayed over the lossy network.
+            out.update(
+                self._equal_policies_netsim(
+                    loads=loads,
+                    failed_sets=failed_sets,
+                    ceiling_w=ceiling_w,
+                    shave=shave,
+                    step_s=step_s,
+                    netsim=netsim,
+                    controlplane=controlplane,
+                    duration_s=duration_s,
+                    warmup_s=warmup_s,
+                    dt_s=dt_s,
+                    seed=seed,
+                    uncapped_perf_time=uncapped_perf_time,
+                    uncapped_power_time=uncapped_power_time,
+                    available_power_time=available_power_time,
+                    lost_node_steps=lost_node_steps,
+                )
+            )
+        equal_policies = ("equal-rapl", "equal-ours") if netsim is None else ()
+        for policy in equal_policies:
             perf_time = 0.0
             power_time = 0.0
             bin_cache: dict[tuple[int, frozenset[int]], tuple[float, float]] = {}
@@ -481,6 +601,107 @@ class ClusterSimulator:
                 },
             },
         )
+        return out
+
+    def _equal_policies_netsim(
+        self,
+        *,
+        loads: list[int],
+        failed_sets: list[frozenset[int]],
+        ceiling_w: float,
+        shave: float,
+        step_s: float,
+        netsim: NetConfig,
+        controlplane: ControlPlaneConfig | None,
+        duration_s: float,
+        warmup_s: float,
+        dt_s: float,
+        seed: int,
+        uncapped_perf_time: float,
+        uncapped_power_time: float,
+        available_power_time: float,
+        lost_node_steps: int,
+    ) -> dict[str, ClusterPolicyResult]:
+        """Equal-split strategies under the distributed control plane.
+
+        One control-plane replay per shaving level produces the per-step
+        per-server cap schedule (both equal strategies enforce the *same*
+        caps - they differ in what each server does under its cap, not in
+        how watts move between servers). Each loaded surviving server is
+        then evaluated under the cap it actually held, reusing the shared
+        per-(mix, policy, cap) bin cache; grants are grid-quantized, so the
+        distinct cap set stays small.
+
+        Two honest costs versus the oracle path appear here by design:
+        unloaded and dead nodes keep their unconditional safe caps reserved
+        (those watts are stranded, not redistributed), and caps bind
+        whenever the *granted* share is below a server's draw - even at
+        steps where the oracle would have been non-binding cluster-wide.
+        """
+        outcome = run_control_plane(
+            n_nodes=self.n_servers,
+            budget_w=ceiling_w,
+            loaded_counts=loads,
+            down_sets=failed_sets,
+            net=netsim,
+            config=controlplane,
+            quantum_w=self._cap_grid_w / self.n_servers,
+            rated_cap_w=self._config.uncapped_power_w,
+            trace_bus=self._trace,
+            metrics=self._metrics,
+        )
+        self._trace.emit(
+            "cluster-controlplane",
+            {
+                "shave": shave,
+                "budget_w": outcome.budget_w,
+                "safe_cap_w": outcome.safe_cap_w,
+                "max_total_cap_w": outcome.max_total_cap_w,
+                "final_epoch": outcome.final_epoch,
+                "net": outcome.net_stats,
+            },
+        )
+        out: dict[str, ClusterPolicyResult] = {}
+        for policy in ("equal-rapl", "equal-ours"):
+            perf_time = 0.0
+            power_time = 0.0
+            for t, (k, failed) in enumerate(zip(loads, failed_sets)):
+                alive_unloaded = (self.n_servers - k) - sum(
+                    1 for f in failed if f >= k
+                )
+                power_time += alive_unloaded * self._unloaded_w * step_s
+                for i in range(k):
+                    if i in failed:
+                        continue
+                    evaluation = evaluate_equal_policy_bin(
+                        policy,
+                        [self._mixes[i]],
+                        outcome.caps_w[t][i],
+                        config=self._config,
+                        cache=self._equal_cache,
+                        loaded_powers_w=[self.loaded_server_power_w(i)],
+                        duration_s=duration_s,
+                        warmup_s=warmup_s,
+                        dt_s=dt_s,
+                        seed=seed,
+                    )
+                    perf_time += evaluation.aggregate_perf * step_s
+                    power_time += evaluation.cluster_power_w * step_s
+            out[policy] = ClusterPolicyResult(
+                policy=policy,
+                shave_fraction=shave,
+                aggregate_performance=perf_time / uncapped_perf_time,
+                mean_power_w=power_time / (len(loads) * step_s),
+                power_efficiency=_efficiency(
+                    perf_time / uncapped_perf_time,
+                    power_time / uncapped_power_time,
+                ),
+                budget_efficiency=_efficiency(
+                    perf_time / uncapped_perf_time,
+                    available_power_time / uncapped_power_time,
+                ),
+                lost_node_steps=lost_node_steps,
+            )
         return out
 
 

@@ -1,0 +1,724 @@
+"""Cap distribution over a lossy network: epochs, leases, safe fallbacks.
+
+The oracle :class:`~repro.cluster.cluster.ClusterSimulator` moves watts
+between servers by fiat - the controller sees every node instantly and cap
+commands arrive losslessly. This module is the production-shaped
+replacement: a :class:`ClusterController` and per-node :class:`NodeAgent`\\ s
+exchanging messages over a :class:`~repro.netsim.network.SimNetwork`, built
+so that the defining invariant of distributed power capping holds *by
+construction*:
+
+    **The sum of effective node caps never exceeds the cluster budget,
+    no matter which messages are lost, delayed, duplicated, or cut off.**
+
+The construction (full math in DESIGN.md section 10):
+
+* Every node permanently owns a guard-banded **safe cap** ``s`` - the even
+  budget share shrunk by ``safe_guard_band`` and quantized down. Safe caps
+  are unconditional: a node that hears nothing may always draw up to ``s``.
+  The remainder ``E = B - n*s`` is the **extras pool** the controller
+  distributes dynamically.
+* Extras move only via **lease-based grants**: an epoch-numbered, idempotent
+  ``SetCap`` carrying an *absolute* expiry step. A node that misses renewal
+  falls back to its safe cap on its own clock; the controller counts every
+  grant as outstanding until it is superseded by an acknowledged later epoch
+  or its lease expires - whichever the controller can actually prove.
+* **Epochs** are globally monotone. A node accepts a command only with an
+  epoch at or above its own, so a delayed duplicate of an old grant can
+  never resurrect a revoked cap; stale commands are rejected (and the
+  rejection reported, which doubles as anti-entropy).
+* **Heartbeats** replace oracle outage knowledge: the controller infers a
+  node's death from missed heartbeats, stops issuing to it, and reclaims
+  its extras only once their leases have provably expired. A heartbeat from
+  a suspect node reintegrates it; a heartbeat reporting a stale epoch after
+  a partition heal triggers reconciliation (the current target is reissued
+  under a fresh epoch).
+* Commands are retried with the shared
+  :class:`~repro.util.retry.RetryPolicy` - capped exponential backoff plus
+  seeded jitter, the same policy the single-server actuation retrier uses.
+
+Everything is deterministic given the network seed, so control-plane traces
+hash stably like every other sim event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NetworkError, SimulationError
+from repro.netsim.network import CONTROLLER, NetConfig, SimNetwork
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
+from repro.util.retry import RetryPolicy
+
+__all__ = [
+    "CapAck",
+    "ClusterController",
+    "ControlPlaneConfig",
+    "ControlPlaneOutcome",
+    "Heartbeat",
+    "NodeAgent",
+    "SetCapCmd",
+    "run_control_plane",
+]
+
+#: Tolerance for cap-budget comparisons (quantization keeps values exact,
+#: but float sums deserve an epsilon).
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Protocol tunables, all in trace steps.
+
+    Attributes:
+        lease_steps: Lifetime of a grant; a node falls back to its safe cap
+            this many steps after the grant was issued unless renewed.
+        renew_before_steps: The controller reissues a live grant when its
+            lease has this many steps (or fewer) left.
+        heartbeat_every_steps: Per-node heartbeat period (staggered by node
+            id so the fabric sees a smooth stream).
+        suspect_after_steps: Silence (no heartbeat or ack) before the
+            controller declares a node suspect.
+        safe_guard_band: Fraction of the even budget share withheld from
+            safe caps and pooled for dynamic grants.
+        retry: RPC retry/backoff policy (jitter decorrelates the per-node
+            retransmit clocks; draws come from the controller's seeded rng).
+    """
+
+    lease_steps: int = 10
+    renew_before_steps: int = 4
+    heartbeat_every_steps: int = 2
+    suspect_after_steps: int = 5
+    safe_guard_band: float = 0.10
+    retry: RetryPolicy = RetryPolicy(
+        base_ticks=1, max_backoff_ticks=8, max_attempts=5, jitter_ticks=1
+    )
+
+    def __post_init__(self) -> None:
+        if self.lease_steps < 2:
+            raise NetworkError("lease_steps must be >= 2")
+        if not 1 <= self.renew_before_steps < self.lease_steps:
+            raise NetworkError(
+                "renew_before_steps must be >= 1 and below lease_steps"
+            )
+        if self.heartbeat_every_steps < 1:
+            raise NetworkError("heartbeat_every_steps must be >= 1")
+        if self.suspect_after_steps <= self.heartbeat_every_steps:
+            raise NetworkError(
+                "suspect_after_steps must exceed heartbeat_every_steps "
+                "(one late heartbeat is not an outage)"
+            )
+        if not 0.0 < self.safe_guard_band < 1.0:
+            raise NetworkError("safe_guard_band must be in (0, 1)")
+
+
+# ------------------------------------------------------------------ messages
+
+
+@dataclass(frozen=True)
+class SetCapCmd:
+    """Controller -> node: hold ``extra_w`` above your safe cap until the
+    (absolute) lease expiry step. Idempotent: re-applying the same epoch is
+    a no-op because the expiry is absolute, not relative."""
+
+    node: int
+    epoch: int
+    extra_w: float
+    lease_expiry_step: int
+
+
+@dataclass(frozen=True)
+class CapAck:
+    """Node -> controller: my state after processing your command.
+
+    ``rejected`` marks a stale-epoch command; the carried state is then the
+    node's *current* grant, which gives the controller the reconciliation
+    evidence for free.
+    """
+
+    node: int
+    epoch: int
+    extra_w: float
+    lease_expiry_step: int
+    rejected: bool = False
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Node -> controller: I am alive, and this is the grant I hold."""
+
+    node: int
+    epoch: int
+    extra_w: float
+    lease_expiry_step: int
+
+
+# ---------------------------------------------------------------- node agent
+
+
+class NodeAgent:
+    """One server's cap-enforcement endpoint.
+
+    The agent is deliberately tiny: it accepts the highest-epoch grant it
+    has seen, enforces the lease expiry on its own clock, answers every
+    command with its resulting state, and heartbeats. All the hard
+    decisions live in the controller; the agent only has to be *safe*,
+    which it is even when it hears nothing at all (safe-cap fallback).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        safe_cap_w: float,
+        rated_cap_w: float,
+        config: ControlPlaneConfig,
+        trace_bus: TraceBus = NULL_TRACE_BUS,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.safe_cap_w = safe_cap_w
+        self.rated_cap_w = rated_cap_w
+        self._config = config
+        self._trace = trace_bus
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self.up = True
+        #: Highest epoch ever accepted (survives outages: the epoch counter
+        #: is journaled to the node's local store, PR 2 style).
+        self.epoch = 0
+        self.extra_w = 0.0
+        self.lease_expiry_step = 0
+
+    def live_extra_w(self, step: int) -> float:
+        """The granted extra still in force at ``step`` (0 past the lease)."""
+        return self.extra_w if step < self.lease_expiry_step else 0.0
+
+    def effective_cap_w(self, step: int) -> float:
+        """The cap this node enforces at ``step``, up or not."""
+        return min(self.rated_cap_w, self.safe_cap_w + self.live_extra_w(step))
+
+    def step(self, step: int, network: SimNetwork) -> None:
+        """Process one step: inbox, lease clock, heartbeat."""
+        if not self.up:
+            # A crashed node loses its in-flight inbox; the lease keeps
+            # counting down on the absolute clock regardless.
+            network.deliver(self.node_id, step)
+            return
+        for _, message in network.deliver(self.node_id, step):
+            if not isinstance(message, SetCapCmd):
+                continue
+            if message.epoch < self.epoch:
+                self._metrics.counter("controlplane.epoch_rejections").inc()
+                self._trace.emit(
+                    "cp-epoch-reject",
+                    {
+                        "node": self.node_id,
+                        "stale_epoch": message.epoch,
+                        "current_epoch": self.epoch,
+                        "step": step,
+                    },
+                )
+                network.send(
+                    self.node_id,
+                    CONTROLLER,
+                    CapAck(
+                        node=self.node_id,
+                        epoch=self.epoch,
+                        extra_w=self.live_extra_w(step),
+                        lease_expiry_step=self.lease_expiry_step,
+                        rejected=True,
+                    ),
+                    step,
+                )
+                continue
+            self.epoch = message.epoch
+            self.extra_w = message.extra_w
+            self.lease_expiry_step = message.lease_expiry_step
+            network.send(
+                self.node_id,
+                CONTROLLER,
+                CapAck(
+                    node=self.node_id,
+                    epoch=self.epoch,
+                    extra_w=self.extra_w,
+                    lease_expiry_step=self.lease_expiry_step,
+                ),
+                step,
+            )
+        if self.extra_w > 0 and step >= self.lease_expiry_step:
+            # Missed renewal: fall back to the guard-banded safe cap.
+            self._metrics.counter("controlplane.lease_expiries").inc()
+            self._trace.emit(
+                "cp-lease-expired",
+                {
+                    "node": self.node_id,
+                    "epoch": self.epoch,
+                    "lost_extra_w": self.extra_w,
+                    "step": step,
+                },
+            )
+            self.extra_w = 0.0
+        if (step + self.node_id) % self._config.heartbeat_every_steps == 0:
+            network.send(
+                self.node_id,
+                CONTROLLER,
+                Heartbeat(
+                    node=self.node_id,
+                    epoch=self.epoch,
+                    extra_w=self.live_extra_w(step),
+                    lease_expiry_step=self.lease_expiry_step,
+                ),
+                step,
+            )
+
+
+# ---------------------------------------------------------------- controller
+
+
+@dataclass(frozen=True)
+class _Grant:
+    epoch: int
+    extra_w: float
+    expiry_step: int
+
+
+@dataclass
+class _PendingRpc:
+    grant: _Grant
+    attempts: int
+    next_retry_step: int
+
+
+class ClusterController:
+    """Budget-safe cap distribution over an unreliable fabric.
+
+    Args:
+        n_nodes: Fleet size.
+        budget_w: The cluster budget ``B`` (the shave ceiling).
+        quantum_w: Per-node cap grid; every safe cap and grant is floored
+            to a multiple of it, so the per-node cap values the evaluator
+            sees form a small finite set.
+        rated_cap_w: A node's physical maximum (grants are advisory above
+            it; the effective cap clamps).
+        config: Protocol tunables.
+        seed: Seed for the retry-jitter rng.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        budget_w: float,
+        *,
+        quantum_w: float,
+        rated_cap_w: float,
+        config: ControlPlaneConfig,
+        seed: int = 0,
+        trace_bus: TraceBus = NULL_TRACE_BUS,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise NetworkError("controller needs at least one node")
+        if budget_w <= 0:
+            raise NetworkError("cluster budget must be positive")
+        if quantum_w <= 0:
+            raise NetworkError("cap quantum must be positive")
+        self._n = n_nodes
+        self.budget_w = budget_w
+        self._quantum_w = quantum_w
+        self._rated_cap_w = rated_cap_w
+        self._config = config
+        self._trace = trace_bus
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._rng = np.random.default_rng(seed)
+        self.safe_cap_w = self._quantize((1.0 - config.safe_guard_band) * budget_w / n_nodes)
+        if self.safe_cap_w <= 0:
+            raise NetworkError(
+                f"budget {budget_w} W over {n_nodes} nodes leaves no safe cap "
+                f"at quantum {quantum_w} W"
+            )
+        #: What the controller may hand out dynamically.
+        self.extras_pool_w = budget_w - n_nodes * self.safe_cap_w
+        self._epoch = 0
+        self._grants: list[dict[int, _Grant]] = [dict() for _ in range(n_nodes)]
+        self._issued: list[_Grant | None] = [None] * n_nodes
+        self._pending: list[_PendingRpc | None] = [None] * n_nodes
+        self._reported_epoch = [0] * n_nodes
+        self._last_heard = [0] * n_nodes
+        self._suspect = [False] * n_nodes
+        self._reconcile = [False] * n_nodes
+
+    # ------------------------------------------------------------- inspection
+
+    def _quantize(self, value_w: float) -> float:
+        return max(0.0, float(np.floor(value_w / self._quantum_w)) * self._quantum_w)
+
+    def outstanding_w(self, node: int, step: int) -> float:
+        """The extra the controller must assume ``node`` may still enforce."""
+        live = [g.extra_w for g in self._grants[node].values() if g.expiry_step > step]
+        return max(live, default=0.0)
+
+    def issued_epoch(self, node: int) -> int:
+        grant = self._issued[node]
+        return 0 if grant is None else grant.epoch
+
+    def issued_extra_w(self, node: int) -> float:
+        grant = self._issued[node]
+        return 0.0 if grant is None else grant.extra_w
+
+    def is_suspect(self, node: int) -> bool:
+        return self._suspect[node]
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, step: int, network: SimNetwork, loaded: frozenset[int]) -> None:
+        """Run one controller step: inbox, detection, distribution, retries."""
+        self._process_inbox(step, network)
+        self._prune_expired(step)
+        self._detect_failures(step)
+        issued_now = self._distribute(step, network, loaded)
+        self._retry_pending(step, network, issued_now)
+
+    def _process_inbox(self, step: int, network: SimNetwork) -> None:
+        for _, message in network.deliver(CONTROLLER, step):
+            if not isinstance(message, (CapAck, Heartbeat)):
+                continue
+            node = message.node
+            self._last_heard[node] = step
+            if self._suspect[node]:
+                self._suspect[node] = False
+                self._metrics.counter("controlplane.reintegrations").inc()
+                self._trace.emit(
+                    "cp-reintegrate", {"node": node, "step": step}
+                )
+            if isinstance(message, CapAck):
+                self._metrics.counter("controlplane.acks").inc()
+                self._trace.emit(
+                    "cp-ack",
+                    {
+                        "node": node,
+                        "epoch": message.epoch,
+                        "rejected": message.rejected,
+                        "step": step,
+                    },
+                )
+            if message.epoch > self._reported_epoch[node]:
+                self._reported_epoch[node] = message.epoch
+            # The node will reject everything below its reported epoch
+            # forever, so those grants can never come back to life.
+            reported = self._reported_epoch[node]
+            grants = self._grants[node]
+            for old in [e for e in grants if e < reported]:
+                del grants[old]
+            pending = self._pending[node]
+            if pending is not None and reported >= pending.grant.epoch:
+                self._pending[node] = None
+            issued = self._issued[node]
+            if (
+                issued is not None
+                and message.epoch < issued.epoch
+                and self._pending[node] is None
+            ):
+                # The node missed our latest command and nothing is in
+                # flight for it any more (retries exhausted during a
+                # partition, say): reissue on the next distribution pass.
+                self._reconcile[node] = True
+
+    def _prune_expired(self, step: int) -> None:
+        for node in range(self._n):
+            grants = self._grants[node]
+            for epoch in [e for e, g in grants.items() if g.expiry_step <= step]:
+                del grants[epoch]
+
+    def _detect_failures(self, step: int) -> None:
+        for node in range(self._n):
+            if self._suspect[node]:
+                continue
+            if step - self._last_heard[node] > self._config.suspect_after_steps:
+                self._suspect[node] = True
+                self._pending[node] = None  # no point retrying into the void
+                self._reconcile[node] = False
+                self._metrics.counter("controlplane.suspects").inc()
+                self._trace.emit(
+                    "cp-suspect",
+                    {
+                        "node": node,
+                        "silent_steps": step - self._last_heard[node],
+                        "step": step,
+                    },
+                )
+
+    def _distribute(
+        self, step: int, network: SimNetwork, loaded: frozenset[int]
+    ) -> set[int]:
+        """Issue new grants toward the even-share target, pool permitting."""
+        healthy = [i for i in sorted(loaded) if not self._suspect[i]]
+        outstanding = [self.outstanding_w(i, step) for i in range(self._n)]
+        free = self.extras_pool_w - sum(outstanding)
+        share = (
+            self._quantize(self.extras_pool_w / len(healthy)) if healthy else 0.0
+        )
+        issued_now: set[int] = set()
+        for node in range(self._n):
+            if self._suspect[node]:
+                continue
+            target = share if node in healthy else 0.0
+            grantable = target
+            if target > outstanding[node] + _EPS:
+                room = max(0.0, free)
+                grantable = self._quantize(
+                    outstanding[node] + min(target - outstanding[node], room)
+                )
+            issued = self._issued[node]
+            issued_extra = 0.0 if issued is None else issued.extra_w
+            changed = abs(grantable - issued_extra) > _EPS
+            if issued is None and grantable <= _EPS and not self._reconcile[node]:
+                continue  # nothing granted, nothing wanted
+            renewal_due = (
+                issued is not None
+                and issued.extra_w > _EPS
+                and not changed
+                and issued.expiry_step - step <= self._config.renew_before_steps
+            )
+            if not (changed or renewal_due or self._reconcile[node]):
+                continue
+            reconciled = self._reconcile[node]
+            self._reconcile[node] = False
+            grant = self._issue(step, network, node, grantable)
+            issued_now.add(node)
+            if reconciled:
+                self._metrics.counter("controlplane.reconciliations").inc()
+                self._trace.emit(
+                    "cp-reconcile",
+                    {"node": node, "epoch": grant.epoch, "step": step},
+                )
+            growth = max(0.0, grantable - outstanding[node])
+            free -= growth
+            outstanding[node] = max(outstanding[node], grantable)
+        return issued_now
+
+    def _issue(
+        self, step: int, network: SimNetwork, node: int, extra_w: float
+    ) -> _Grant:
+        self._epoch += 1
+        grant = _Grant(
+            epoch=self._epoch,
+            extra_w=extra_w,
+            expiry_step=step + self._config.lease_steps,
+        )
+        if extra_w > _EPS:
+            self._grants[node][grant.epoch] = grant
+        self._issued[node] = grant
+        self._pending[node] = _PendingRpc(
+            grant=grant,
+            attempts=1,
+            next_retry_step=step
+            + self._config.retry.backoff_ticks(1, self._rng),
+        )
+        self._send(step, network, node, grant, attempt=1)
+        return grant
+
+    def _send(
+        self, step: int, network: SimNetwork, node: int, grant: _Grant, attempt: int
+    ) -> None:
+        self._metrics.counter("controlplane.commands").inc()
+        if attempt > 1:
+            self._metrics.counter("controlplane.retries").inc()
+        self._trace.emit(
+            "cp-command",
+            {
+                "node": node,
+                "epoch": grant.epoch,
+                "extra_w": grant.extra_w,
+                "lease_expiry_step": grant.expiry_step,
+                "attempt": attempt,
+                "step": step,
+            },
+        )
+        network.send(
+            CONTROLLER,
+            node,
+            SetCapCmd(
+                node=node,
+                epoch=grant.epoch,
+                extra_w=grant.extra_w,
+                lease_expiry_step=grant.expiry_step,
+            ),
+            step,
+        )
+
+    def _retry_pending(
+        self, step: int, network: SimNetwork, issued_now: set[int]
+    ) -> None:
+        for node in range(self._n):
+            if node in issued_now or self._suspect[node]:
+                continue
+            pending = self._pending[node]
+            if pending is None or step < pending.next_retry_step:
+                continue
+            if self._config.retry.exhausted(pending.attempts):
+                # Park: anti-entropy (heartbeat evidence) will reissue.
+                self._pending[node] = None
+                self._metrics.counter("controlplane.rpc_exhausted").inc()
+                continue
+            pending.attempts += 1
+            pending.next_retry_step = step + self._config.retry.backoff_ticks(
+                pending.attempts, self._rng
+            )
+            self._send(step, network, node, pending.grant, attempt=pending.attempts)
+
+
+# ------------------------------------------------------------------ run loop
+
+
+@dataclass(frozen=True)
+class ControlPlaneOutcome:
+    """One control-plane replay over a load/outage schedule.
+
+    Attributes:
+        caps_w: Per step, per node: the cap in force at that node (lease
+            math applies whether or not the node is up - a rebooting node
+            re-enforces its persisted grant until the lease expires).
+        budget_w: The cluster budget the run distributed.
+        safe_cap_w: The per-node unconditional fallback cap.
+        max_total_cap_w: Largest observed ``sum(caps_w[t])`` - always at or
+            below ``budget_w`` (checked every step; violation raises).
+        node_epochs: Final accepted epoch per node.
+        final_epoch: The controller's epoch counter at the end.
+        zombie_free: Whether every node's final live extra is covered by a
+            grant the controller still accounts for.
+        net_stats: The network's message accounting.
+    """
+
+    caps_w: tuple[tuple[float, ...], ...]
+    budget_w: float
+    safe_cap_w: float
+    max_total_cap_w: float
+    node_epochs: tuple[int, ...]
+    final_epoch: int
+    zombie_free: bool
+    net_stats: dict[str, int]
+
+
+def run_control_plane(
+    *,
+    n_nodes: int,
+    budget_w: float,
+    loaded_counts: Sequence[int],
+    down_sets: Sequence[frozenset[int]] | None = None,
+    net: NetConfig,
+    config: ControlPlaneConfig | None = None,
+    quantum_w: float = 2.0,
+    rated_cap_w: float | None = None,
+    drain_steps: int = 0,
+    trace_bus: TraceBus = NULL_TRACE_BUS,
+    metrics: MetricsRegistry | None = None,
+) -> ControlPlaneOutcome:
+    """Replay the control plane over a load/outage schedule.
+
+    Args:
+        loaded_counts: Offered load per step (the first ``k`` nodes are
+            loaded, matching the cluster simulator's inversion).
+        down_sets: Nodes dead at each step (aligned with ``loaded_counts``);
+            dead nodes lose their inbox and stay silent.
+        net: The network behaviour (latency/loss/duplication/partitions).
+        config: Protocol tunables.
+        quantum_w: Per-node cap grid.
+        rated_cap_w: Per-node physical cap clamp (default: no clamp).
+        drain_steps: Extra steps appended after the schedule with the final
+            load and no outages, letting leases renew and retries settle
+            (the caps of drain steps are not part of ``caps_w``).
+        trace_bus / metrics: Observability sinks shared with the caller.
+
+    Raises:
+        SimulationError: if the aggregate-cap invariant is ever violated
+            (a protocol bug by definition - it cannot happen).
+        NetworkError: for inconsistent schedule shapes.
+    """
+    if config is None:
+        config = ControlPlaneConfig()
+    steps = len(loaded_counts)
+    if steps == 0:
+        raise NetworkError("control-plane schedule needs at least one step")
+    if any(not 0 <= k <= n_nodes for k in loaded_counts):
+        raise NetworkError("loaded_counts entries must be in [0, n_nodes]")
+    if down_sets is None:
+        down_sets = [frozenset()] * steps
+    if len(down_sets) != steps:
+        raise NetworkError(
+            f"down_sets has {len(down_sets)} entries for {steps} steps"
+        )
+    registry = metrics if metrics is not None else MetricsRegistry()
+    network = SimNetwork(net, n_nodes)
+    controller = ClusterController(
+        n_nodes,
+        budget_w,
+        quantum_w=quantum_w,
+        rated_cap_w=float("inf") if rated_cap_w is None else rated_cap_w,
+        config=config,
+        seed=net.seed,
+        trace_bus=trace_bus,
+        metrics=registry,
+    )
+    agents = [
+        NodeAgent(
+            i,
+            safe_cap_w=controller.safe_cap_w,
+            rated_cap_w=float("inf") if rated_cap_w is None else rated_cap_w,
+            config=config,
+            trace_bus=trace_bus,
+            metrics=registry,
+        )
+        for i in range(n_nodes)
+    ]
+
+    caps: list[tuple[float, ...]] = []
+    max_total = 0.0
+    last_loaded = frozenset(range(loaded_counts[-1]))
+    for step in range(steps + drain_steps):
+        if step < steps:
+            loaded = frozenset(range(loaded_counts[step]))
+            down = down_sets[step]
+        else:
+            loaded, down = last_loaded, frozenset()
+        for agent in agents:
+            agent.up = agent.node_id not in down
+            agent.step(step, network)
+        controller.step(step, network, loaded)
+        row = tuple(agent.effective_cap_w(step) for agent in agents)
+        total = sum(row)
+        max_total = max(max_total, total)
+        if total > budget_w + _EPS:
+            raise SimulationError(
+                f"control-plane invariant violated at step {step}: "
+                f"sum of node caps {total:.6f} W exceeds budget "
+                f"{budget_w:.6f} W"
+            )
+        if step < steps:
+            caps.append(row)
+
+    final_step = steps + drain_steps - 1
+    zombie_free = all(
+        agent.live_extra_w(final_step)
+        <= controller.outstanding_w(agent.node_id, final_step) + _EPS
+        for agent in agents
+    )
+    for key, value in network.stats.to_dict().items():
+        registry.counter(f"netsim.{key}").inc(value)
+    return ControlPlaneOutcome(
+        caps_w=tuple(caps),
+        budget_w=budget_w,
+        safe_cap_w=controller.safe_cap_w,
+        max_total_cap_w=max_total,
+        node_epochs=tuple(agent.epoch for agent in agents),
+        final_epoch=controller.epoch,
+        zombie_free=zombie_free,
+        net_stats=network.stats.to_dict(),
+    )

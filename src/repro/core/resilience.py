@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.observability.metrics import MetricsRegistry
 from repro.server.config import KnobSetting
 from repro.server.knobs import KnobController
+from repro.util.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -289,6 +290,13 @@ class ActuationRetrier:
     def __init__(self, knobs: KnobController, config: ResilienceConfig) -> None:
         self._knobs = knobs
         self._config = config
+        # Jitter stays off here: a single server's retrier has nothing to
+        # decorrelate from, and the golden traces pin the 1, 2, 4, ... ticks.
+        self._policy = RetryPolicy(
+            base_ticks=1,
+            max_attempts=config.max_actuation_attempts,
+            jitter_ticks=0,
+        )
         self._pending: dict[str, _RetryState] = {}
         self._tick = 0
 
@@ -362,7 +370,7 @@ class ActuationRetrier:
                 del self._pending[app]
                 continue
             state.attempts += 1
-            if state.attempts >= self._config.max_actuation_attempts:
+            if self._policy.exhausted(state.attempts):
                 # Give up on RAPL: signals always work.
                 self._knobs.suspend(app)
                 self._knobs.clear_failed_write(app)
@@ -370,7 +378,9 @@ class ActuationRetrier:
                 escalated.append(app)
                 del self._pending[app]
             else:
-                state.next_retry_tick = self._tick + 2 ** (state.attempts - 1)
+                state.next_retry_tick = self._tick + self._policy.backoff_ticks(
+                    state.attempts
+                )
         return verified, escalated
 
     def forget(self, app: str) -> None:

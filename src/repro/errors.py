@@ -133,6 +133,17 @@ class TraceError(ObservabilityError):
     """
 
 
+class NetworkError(ReproError):
+    """A simulated-network or control-plane configuration is invalid.
+
+    Examples: a loss probability outside [0, 1], a partition window that
+    ends before it starts, a malformed ``--partition`` spec on the CLI, or
+    a control-plane lease shorter than the heartbeat interval. Like
+    :class:`PersistenceError`, the message is a single line suitable for
+    verbatim CLI display.
+    """
+
+
 class ChaosError(ReproError):
     """A chaos-soak run violated a recovery invariant.
 

@@ -149,6 +149,11 @@ class FaultInjector:
         crashed: list[str] = []
         transitions: list[FaultTransition] = []
         for idx, spec in enumerate(self._plan.specs):
+            if spec.kind == "node":
+                # Cluster-scope fault: a whole server dies. The per-server
+                # injector has no server *set* to act on; the cluster layer
+                # converts these specs into NodeOutage windows instead.
+                continue
             if spec.instantaneous:
                 if idx not in self._fired and now_s >= spec.start_s:
                     self._fired.add(idx)

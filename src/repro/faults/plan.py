@@ -25,11 +25,19 @@ battery   derate       max discharge power is scaled by ``magnitude``
 battery   fade         capacity permanently scaled by ``1 - magnitude``
 app       crash        the target exits unexpectedly (forced E3, once)
 app       hang         the target stops progressing but keeps drawing power
+node      outage       a whole cluster server is down (cluster scope)
 ======== ============ ====================================================
 
 ``target`` names the affected application for ``app`` faults (``None``
 resolves to the alphabetically first managed application at fire time, which
-keeps canned plans independent of any specific mix).
+keeps canned plans independent of any specific mix). For ``node`` faults the
+target is the failed server's index as a decimal string; the per-server
+:class:`~repro.faults.injector.FaultInjector` skips ``node`` specs entirely -
+they are consumed by the cluster layer
+(:func:`~repro.cluster.cluster.outages_from_fault_plan`), which converts them
+into :class:`~repro.cluster.cluster.NodeOutage` windows so one plan file can
+describe single-server substrate faults and cluster-level node kills
+together.
 """
 
 from __future__ import annotations
@@ -50,6 +58,7 @@ FAULT_MODES: dict[str, tuple[str, ...]] = {
     "telemetry": ("drop", "stale", "noise"),
     "battery": ("outage", "derate", "fade"),
     "app": ("crash", "hang"),
+    "node": ("outage",),
 }
 
 #: Modes that fire once at ``start_s`` instead of spanning a window.
@@ -106,6 +115,12 @@ class FaultSpec:
                 )
         if self.kind == "telemetry" and self.mode == "noise" and self.magnitude <= 0:
             raise FaultError("telemetry/noise needs a positive magnitude (watts)")
+        if self.kind == "node":
+            if self.target is None or not self.target.isdigit():
+                raise FaultError(
+                    "node/outage target must be the failed server's index "
+                    f"as a decimal string, got {self.target!r}"
+                )
 
     @property
     def instantaneous(self) -> bool:

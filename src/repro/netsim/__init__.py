@@ -1,0 +1,17 @@
+"""Deterministic, seeded network simulation for the cluster control plane."""
+
+from repro.netsim.network import (
+    CONTROLLER,
+    NetConfig,
+    NetStats,
+    PartitionWindow,
+    SimNetwork,
+)
+
+__all__ = [
+    "CONTROLLER",
+    "NetConfig",
+    "NetStats",
+    "PartitionWindow",
+    "SimNetwork",
+]

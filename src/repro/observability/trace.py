@@ -39,6 +39,7 @@ from repro.schema import Validator
 
 __all__ = [
     "TRACE_SCHEMA_VERSION",
+    "CONTROL_PLANE_KINDS",
     "TraceEvent",
     "TraceBus",
     "NullTraceBus",
@@ -75,8 +76,19 @@ SIM_KINDS = frozenset(
         "recovery",  # R: a fault episode ended
         "cluster-bin",  # cluster search evaluated a (cap, count) bin
         "cluster-level",  # cluster search finished one shave level
+        "cluster-controlplane",  # one control-plane replay summary per level
+        "cp-command",  # controller sent a SetCap grant (fresh or retry)
+        "cp-ack",  # controller received a node's acknowledgement
+        "cp-epoch-reject",  # a node rejected a stale-epoch command
+        "cp-lease-expired",  # a node's lease lapsed; it fell to its safe cap
+        "cp-suspect",  # heartbeat loss made the controller suspect a node
+        "cp-reintegrate",  # a suspect node's heartbeat returned
+        "cp-reconcile",  # anti-entropy reissued state after a heal
     }
 )
+
+#: Control-plane event kinds (the ``cp-`` prefix), for display grouping.
+CONTROL_PLANE_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("cp-"))
 
 META_KINDS = frozenset({"trace-header", "checkpoint", "crash", "restore", "replayed"})
 

@@ -1,0 +1,5 @@
+"""Cross-cutting utilities shared by otherwise unrelated subsystems."""
+
+from repro.util.retry import RetryPolicy
+
+__all__ = ["RetryPolicy"]

@@ -2,9 +2,15 @@
 
 import pytest
 
-from repro.cluster.cluster import ClusterSimulator, NodeOutage
+from repro.cluster.cluster import (
+    ClusterSimulator,
+    NodeOutage,
+    outages_from_fault_plan,
+    validate_outages,
+)
 from repro.cluster.migration import ConsolidationPlanner, ConsolidationWalker
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
+from repro.faults.plan import FaultPlan, FaultSpec
 from repro.workloads.mixes import all_mixes
 from repro.workloads.traces import ClusterPowerTrace
 
@@ -50,6 +56,88 @@ class TestValidation:
         assert outage.down_at(2)
         assert outage.down_at(4)
         assert not outage.down_at(5)
+
+
+class TestScheduleValidation:
+    def test_same_server_overlap_names_the_field(self):
+        outages = (
+            NodeOutage(server=3, start_step=0, end_step=10),
+            NodeOutage(server=2, start_step=5, end_step=15),
+            NodeOutage(server=3, start_step=8, end_step=12),
+        )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"outages\[2\]\.start_step: overlaps outages\[0\] for server 3",
+        ):
+            validate_outages(outages, n_steps=50, n_servers=10)
+
+    def test_touching_windows_are_not_overlapping(self):
+        outages = (
+            NodeOutage(server=0, start_step=0, end_step=10),
+            NodeOutage(server=0, start_step=10, end_step=20),
+        )
+        assert validate_outages(outages, n_steps=50, n_servers=10) == outages
+
+    def test_past_trace_interval_is_clamped(self):
+        outages = (NodeOutage(server=0, start_step=40, end_step=999),)
+        (clamped,) = validate_outages(outages, n_steps=50, n_servers=10)
+        assert clamped == NodeOutage(server=0, start_step=40, end_step=50)
+
+    def test_fully_out_of_trace_and_fleet_are_dropped(self):
+        outages = (
+            NodeOutage(server=0, start_step=50, end_step=60),  # past trace
+            NodeOutage(server=99, start_step=0, end_step=10),  # past fleet
+        )
+        assert validate_outages(outages, n_steps=50, n_servers=10) == ()
+
+    def test_run_rejects_same_server_overlap(self, sim, trace):
+        outages = (
+            NodeOutage(server=1, start_step=0, end_step=20),
+            NodeOutage(server=1, start_step=10, end_step=30),
+        )
+        with pytest.raises(ConfigurationError, match=r"outages\[1\]\.start_step"):
+            run(sim, trace, outages=outages)
+
+    def test_dropped_servers_do_not_trip_overlap_check(self):
+        # Out-of-fleet entries are ignored entirely - including for overlap.
+        outages = (
+            NodeOutage(server=99, start_step=0, end_step=20),
+            NodeOutage(server=99, start_step=10, end_step=30),
+        )
+        assert validate_outages(outages, n_steps=50, n_servers=10) == ()
+
+
+class TestFaultPlanComposition:
+    def test_node_specs_become_outages(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node", mode="outage", start_s=60.0, duration_s=120.0, target="3"),
+                FaultSpec(kind="rapl", mode="drop", start_s=5.0, duration_s=4.0),
+            )
+        )
+        outages = outages_from_fault_plan(plan, step_s=60.0)
+        assert outages == (NodeOutage(server=3, start_step=1, end_step=3),)
+
+    def test_sub_step_window_still_covers_one_step(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="node", mode="outage", start_s=10.0, duration_s=1.0, target="0"),
+            )
+        )
+        (outage,) = outages_from_fault_plan(plan, step_s=60.0)
+        assert outage == NodeOutage(server=0, start_step=0, end_step=1)
+
+    def test_node_spec_requires_integer_target(self):
+        with pytest.raises(FaultError, match="node/outage target"):
+            FaultSpec(kind="node", mode="outage", start_s=0.0, duration_s=1.0)
+        with pytest.raises(FaultError, match="node/outage target"):
+            FaultSpec(
+                kind="node", mode="outage", start_s=0.0, duration_s=1.0, target="web"
+            )
+
+    def test_bad_step_size(self):
+        with pytest.raises(ConfigurationError):
+            outages_from_fault_plan(FaultPlan(), step_s=0.0)
 
 
 class TestAccounting:

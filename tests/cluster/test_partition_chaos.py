@@ -1,0 +1,162 @@
+"""Partition-chaos soaks and the netsim-integrated cluster experiment.
+
+The quick tier always runs a handful of composed schedules; the full
+acceptance matrix (20 seeds, loss up to 30%, partitions up to 25% of the
+trace, composed with node kills) is opt-in via ``REPRO_SOAK=1`` and runs in
+CI's soak job.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import (
+    kill_outages,
+    partition_schedule,
+    run_partition_chaos,
+    run_partition_soak,
+)
+from repro.cluster.cluster import ClusterSimulator, NodeOutage, validate_outages
+from repro.errors import ChaosError, ConfigurationError
+from repro.netsim import NetConfig, PartitionWindow
+from repro.workloads.mixes import all_mixes
+from repro.workloads.traces import ClusterPowerTrace
+
+SOAK = os.environ.get("REPRO_SOAK") == "1"
+
+
+class TestSchedules:
+    def test_partition_schedule_respects_bounds(self):
+        for seed in range(10):
+            windows = partition_schedule(
+                100, 10, windows=2, max_fraction=0.25, seed=seed
+            )
+            for w in windows:
+                assert w.end_step - w.start_step <= 25
+                assert 1 <= len(w.nodes) <= 5  # never a fleet majority
+                assert w.end_step <= 100 + 25
+
+    def test_partition_schedule_deterministic(self):
+        a = partition_schedule(100, 10, windows=3, max_fraction=0.2, seed=7)
+        assert a == partition_schedule(100, 10, windows=3, max_fraction=0.2, seed=7)
+
+    def test_kill_outages_never_overlap_per_node(self):
+        for seed in range(10):
+            outages = kill_outages(120, 4, kills=6, max_down_steps=30, seed=seed)
+            # validate_outages raising would mean same-node overlap.
+            validate_outages(outages, n_steps=120, n_servers=4)
+            assert all(o.end_step <= 120 for o in outages)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            partition_schedule(100, 10, windows=1, max_fraction=1.5, seed=0)
+        with pytest.raises(ConfigurationError):
+            run_partition_chaos(seed=0, loss=1.0)
+        with pytest.raises(ConfigurationError):
+            run_partition_soak(seeds=[])
+
+
+class TestQuickChaos:
+    def test_composed_run_holds_the_invariant(self):
+        result = run_partition_chaos(seed=1, n_steps=80)
+        assert result.headroom_w >= 0.0
+        assert result.outcome.zombie_free
+        assert result.partition_steps > 0
+        assert result.killed_node_steps > 0
+
+    def test_small_severity_sweep(self):
+        soak = run_partition_soak(seeds=[0, 1, 2, 3], n_steps=80)
+        assert len(soak.runs) == 4
+        assert soak.min_headroom_w >= 0.0
+        # The sweep actually ramps severity.
+        assert soak.runs[0].loss < soak.runs[-1].loss == pytest.approx(0.3)
+
+    def test_zombie_detection_raises_chaoserror(self, monkeypatch):
+        import repro.chaos.partition as partition_mod
+
+        class FakeOutcome:
+            zombie_free = False
+
+        def fake_run(**kwargs):
+            return FakeOutcome()
+
+        monkeypatch.setattr(partition_mod, "run_control_plane", fake_run)
+        with pytest.raises(ChaosError, match="zombie|extra"):
+            run_partition_chaos(seed=0)
+
+
+class TestClusterIntegration:
+    @pytest.fixture(scope="class")
+    def small(self):
+        sim = ClusterSimulator(mixes=all_mixes()[:3], cap_grid_w=6.0)
+        trace = ClusterPowerTrace.synthetic_diurnal(
+            peak_w=sim.uncapped_cluster_power_w(), days=0.15, step_s=600.0, seed=3
+        )
+        return sim, trace
+
+    def run(self, sim, trace, **kwargs):
+        return sim.run(
+            trace=trace,
+            shave_fractions=(0.30,),
+            duration_s=6.0,
+            warmup_s=2.0,
+            seed=1,
+            **kwargs,
+        )
+
+    def test_netsim_none_is_the_oracle_path(self, small):
+        sim, trace = small
+        a = self.run(sim, trace)
+        b = self.run(sim, trace, netsim=None)
+        assert a.results == b.results
+
+    def test_netsim_degrades_but_stays_valid(self, small):
+        sim, trace = small
+        oracle = self.run(sim, trace)
+        net = NetConfig(
+            loss=0.2,
+            jitter_steps=1,
+            partitions=(PartitionWindow(3, 8, (1,)),),
+            seed=5,
+        )
+        lossy = self.run(
+            sim,
+            trace,
+            netsim=net,
+            outages=(NodeOutage(server=0, start_step=6, end_step=10),),
+        )
+        for policy in ("equal-rapl", "equal-ours"):
+            o = oracle.results[0.30][policy]
+            n = lossy.results[0.30][policy]
+            assert 0.0 <= n.aggregate_performance <= o.aggregate_performance + 1e-9
+        # Consolidation keeps its oracle placement either way.
+        assert (
+            lossy.results[0.30]["consolidation-migration"].aggregate_performance
+            == oracle.results[0.30]["consolidation-migration"].aggregate_performance
+        )
+
+    def test_netsim_run_is_deterministic(self, small):
+        sim, trace = small
+        net = NetConfig(loss=0.25, jitter_steps=2, seed=9)
+        a = self.run(sim, trace, netsim=net)
+        b = self.run(sim, trace, netsim=net)
+        assert a.results == b.results
+
+
+@pytest.mark.skipif(not SOAK, reason="set REPRO_SOAK=1 to run the full soak")
+class TestAcceptanceSoak:
+    def test_twenty_seeds_full_severity(self):
+        # The acceptance matrix: >= 20 seeded schedules, loss up to 30%,
+        # partitions up to 25% of the trace, composed with node kills.
+        soak = run_partition_soak(
+            seeds=list(range(20)),
+            n_nodes=10,
+            n_steps=120,
+            max_loss=0.3,
+            partition_fraction=0.25,
+            kills=2,
+        )
+        assert len(soak.runs) == 20
+        assert soak.min_headroom_w >= 0.0
+        assert soak.total_partition_steps > 0
+        assert soak.total_killed_node_steps > 0

@@ -1,0 +1,164 @@
+"""The simulated network: determinism, loss, reordering, partitions."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.netsim import CONTROLLER, NetConfig, PartitionWindow, SimNetwork
+
+
+def drain(net, dst, upto_step):
+    out = []
+    for step in range(upto_step + 1):
+        out.extend(payload for _, payload in net.deliver(dst, step))
+    return out
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_steps": -1},
+            {"jitter_steps": -1},
+            {"loss": 1.0},
+            {"loss": -0.1},
+            {"duplicate": 1.5},
+            {"lossy_until_step": -1},
+        ],
+    )
+    def test_bad_config(self, kwargs):
+        with pytest.raises(NetworkError):
+            NetConfig(**kwargs)
+
+    def test_bad_partition_windows(self):
+        with pytest.raises(NetworkError):
+            PartitionWindow(start_step=5, end_step=5, nodes=(0,))
+        with pytest.raises(NetworkError):
+            PartitionWindow(start_step=0, end_step=5, nodes=())
+
+    def test_partition_past_fleet_rejected(self):
+        config = NetConfig(partitions=(PartitionWindow(0, 5, (7,)),))
+        with pytest.raises(NetworkError):
+            SimNetwork(config, n_nodes=4)
+
+    def test_unknown_endpoint_and_node_to_node(self):
+        net = SimNetwork(NetConfig(), n_nodes=2)
+        with pytest.raises(NetworkError):
+            net.send(0, 5, "x", 0)
+        with pytest.raises(NetworkError):
+            net.send(0, 1, "x", 0)  # hub-and-spoke only
+        with pytest.raises(NetworkError):
+            net.send(CONTROLLER, CONTROLLER, "x", 0)
+
+
+class TestDelivery:
+    def test_one_step_in_flight_floor(self):
+        net = SimNetwork(NetConfig(), n_nodes=1)
+        net.send(CONTROLLER, 0, "hello", step=3)
+        assert net.deliver(0, 3) == []  # never same-step
+        assert net.deliver(0, 4) == [(CONTROLLER, "hello")]
+        assert net.in_flight() == 0
+
+    def test_latency_delays_delivery(self):
+        net = SimNetwork(NetConfig(latency_steps=2), n_nodes=1)
+        net.send(0, CONTROLLER, "hb", step=0)
+        assert net.deliver(CONTROLLER, 2) == []
+        assert net.deliver(CONTROLLER, 3) == [(0, "hb")]
+
+    def test_lossless_network_delivers_everything_in_order(self):
+        net = SimNetwork(NetConfig(), n_nodes=1)
+        for step in range(10):
+            net.send(CONTROLLER, 0, step, step)
+        assert drain(net, 0, 11) == list(range(10))
+
+    def test_jitter_reorders_but_loses_nothing(self):
+        net = SimNetwork(NetConfig(jitter_steps=4, seed=5), n_nodes=1)
+        for step in range(30):
+            net.send(CONTROLLER, 0, step, step)
+        got = drain(net, 0, 40)
+        assert sorted(got) == list(range(30))
+        assert got != list(range(30))  # some overtaking actually happened
+
+    def test_seeded_replay_is_bit_identical(self):
+        def replay(seed):
+            net = SimNetwork(
+                NetConfig(jitter_steps=3, loss=0.3, duplicate=0.2, seed=seed),
+                n_nodes=2,
+            )
+            for step in range(40):
+                net.send(CONTROLLER, step % 2, step, step)
+            return (drain(net, 0, 50), drain(net, 1, 50), net.stats.to_dict())
+
+        assert replay(9) == replay(9)
+        assert replay(9) != replay(10)
+
+
+class TestLossAndDuplication:
+    def test_loss_drops_some_messages(self):
+        net = SimNetwork(NetConfig(loss=0.5, seed=1), n_nodes=1)
+        for step in range(100):
+            net.send(CONTROLLER, 0, step, step)
+        got = drain(net, 0, 110)
+        assert 10 < len(got) < 90
+        assert net.stats.dropped_loss == 100 - len(got)
+
+    def test_duplicate_delivers_extra_copies(self):
+        net = SimNetwork(NetConfig(duplicate=1.0), n_nodes=1)
+        net.send(CONTROLLER, 0, "x", 0)
+        assert drain(net, 0, 3) == ["x", "x"]
+        assert net.stats.duplicated == 1
+
+    def test_lossy_until_step_makes_the_tail_clean(self):
+        net = SimNetwork(NetConfig(loss=0.9, lossy_until_step=50, seed=2), n_nodes=1)
+        for step in range(100):
+            net.send(CONTROLLER, 0, step, step)
+        got = drain(net, 0, 110)
+        # Every message sent in the clean tail arrives.
+        assert [m for m in got if m >= 50] == list(range(50, 100))
+        assert len([m for m in got if m < 50]) < 50
+
+
+class TestPartitions:
+    def test_cut_drops_both_directions(self):
+        net = SimNetwork(
+            NetConfig(partitions=(PartitionWindow(10, 20, (0,)),)), n_nodes=2
+        )
+        net.send(CONTROLLER, 0, "in", 15)
+        net.send(0, CONTROLLER, "out", 15)
+        net.send(CONTROLLER, 1, "other", 15)  # node 1 unaffected
+        assert drain(net, 0, 30) == []
+        assert drain(net, CONTROLLER, 30) == []
+        assert drain(net, 1, 30) == ["other"]
+        assert net.stats.dropped_partition == 2
+
+    def test_message_cannot_outrun_a_closing_partition(self):
+        # Sent while clear, due while cut: dropped at delivery time.
+        net = SimNetwork(
+            NetConfig(latency_steps=5, partitions=(PartitionWindow(3, 20, (0,)),)),
+            n_nodes=1,
+        )
+        net.send(CONTROLLER, 0, "doomed", 1)  # due at 7, inside the cut
+        assert drain(net, 0, 30) == []
+        assert net.stats.dropped_partition == 1
+
+    def test_partition_heal_restores_delivery(self):
+        net = SimNetwork(
+            NetConfig(partitions=(PartitionWindow(0, 5, (0,)),)), n_nodes=1
+        )
+        net.send(CONTROLLER, 0, "after", 5)
+        assert drain(net, 0, 7) == ["after"]
+
+    def test_partition_never_shifts_rng_of_other_messages(self):
+        # Same sends, one config with a partition: the surviving node's
+        # delivery stream is identical - loss/jitter draws happen in send
+        # order regardless of the cut.
+        def stream(partitions):
+            net = SimNetwork(
+                NetConfig(jitter_steps=3, loss=0.4, seed=11, partitions=partitions),
+                n_nodes=2,
+            )
+            for step in range(40):
+                net.send(CONTROLLER, 0, ("a", step), step)
+                net.send(CONTROLLER, 1, ("b", step), step)
+            return drain(net, 1, 50)
+
+        assert stream(()) == stream((PartitionWindow(5, 25, (0,)),))

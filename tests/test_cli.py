@@ -79,6 +79,58 @@ class TestSubcommands:
         assert "equal-ours" in out
 
 
+class TestClusterNetsimFlags:
+    def test_chaos_soak_passthrough(self, capsys):
+        code = main(["cluster", "--chaos", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition chaos soak" in out
+        assert "held the budget invariant" in out
+
+    def test_malformed_partition_exits_2(self, capsys):
+        code = main(["cluster", "--fast", "--partition", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: --partition")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_malformed_outage_exits_2(self, capsys):
+        code = main(["cluster", "--fast", "--outage", "0:5:2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: --outage")
+
+    def test_overlapping_outages_exit_2_naming_the_field(self, capsys):
+        code = main(
+            ["cluster", "--fast", "--outage", "1:0:20", "--outage", "1:10:30"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "outages[1].start_step" in captured.err
+        assert "server 1" in captured.err
+
+    @pytest.mark.slow
+    def test_netsim_run_traces_control_plane(self, capsys, tmp_path):
+        trace_path = tmp_path / "clu.jsonl"
+        code = main(
+            [
+                "cluster", "--fast", "--loss", "0.2",
+                "--partition", "3:8:1+2", "--outage", "0:6:10",
+                "--trace-out", str(trace_path),
+                "--metrics-out", str(tmp_path / "clu-metrics.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "over lossy net" in out
+        assert trace_path.exists()
+        code = main(["trace", "summarize", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "control plane:" in out
+        assert "command=" in out and "ack=" in out
+
+
 class TestExtensionSubcommands:
     def test_place(self, capsys):
         code = main(["place", "--caps", "120,85", "--jobs", "stream,kmeans"])
