@@ -18,6 +18,13 @@ from repro.chaos.harness import (
     run_chaos_soak,
     run_script,
 )
+from repro.chaos.service import (
+    ChurnSchedule,
+    ServiceSoakReport,
+    run_service_soak,
+    service_kill_hook,
+    service_kill_ticks,
+)
 from repro.chaos.partition import (
     PartitionChaosResult,
     PartitionSoakResult,
@@ -30,6 +37,8 @@ from repro.chaos.partition import (
 __all__ = [
     "ChaosRunResult",
     "ChaosSoakResult",
+    "ChurnSchedule",
+    "ServiceSoakReport",
     "PartitionChaosResult",
     "PartitionSoakResult",
     "kill_outages",
@@ -41,4 +50,7 @@ __all__ = [
     "run_partition_chaos",
     "run_partition_soak",
     "run_script",
+    "run_service_soak",
+    "service_kill_hook",
+    "service_kill_ticks",
 ]

@@ -7,6 +7,7 @@ Subcommands:
 * ``utility``   - an application's utility curve and resource preferences;
 * ``calibrate`` - the Fig. 7 sampling-fraction sweep;
 * ``dynamic``   - a Poisson arrival stream against one server;
+* ``serve``     - long-running service mode (open-loop streaming ingest);
 * ``cluster``   - the Fig. 12 peak-shaving comparison;
 * ``place``     - the power-aware job-placement extension;
 * ``zones``     - the hardware powercap-zone extension;
@@ -20,6 +21,8 @@ Examples::
     python -m repro trace summarize run.jsonl
     python -m repro compare --cap 80 --mixes 1,10,14 --policies util-unaware,app+res-aware
     python -m repro utility --app stream
+    python -m repro serve --ticks 2000 --rate 0.5 --burst 60:90:30 --cap-levels 90,110
+    python -m repro serve --ticks 2000 --kills 2 --churn 6
     python -m repro cluster --fast
     python -m repro cluster --fast --loss 0.2 --partition 3:8:1+2 --outage 0:6:10
     python -m repro cluster --chaos 5
@@ -50,6 +53,7 @@ from repro.errors import (
     NetworkError,
     ObservabilityError,
     PersistenceError,
+    ServiceError,
 )
 from repro.faults import FaultPlan, default_fault_plan
 from repro.netsim import NetConfig, PartitionWindow
@@ -70,6 +74,7 @@ from repro.cluster.cluster import (
 )
 from repro.learning.crossval import calibrate_sampling_fraction
 from repro.server.config import ServerConfig
+from repro.service import BACKPRESSURE_POLICIES
 from repro.workloads.catalog import CATALOG, application_names, get_application
 from repro.workloads.generator import ArrivalEvent, ArrivalSchedule
 from repro.workloads.mixes import all_mixes, get_mix
@@ -84,17 +89,24 @@ def _parse_policies(text: str) -> list[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _fail(exc: Exception) -> int:
+    """The CLI's one-line failure contract: ``error: <reason>`` on stderr,
+    exit status 2, never a traceback. Every subcommand shares this path."""
+    print(f"error: {exc}", file=sys.stderr)
+    return 2
+
+
 def _load_fault_plan(arg: str | None) -> FaultPlan | None:
     """Resolve the ``--faults`` argument: a JSON plan path, or the literal
-    ``default`` for the built-in demonstration plan."""
+    ``default`` for the built-in demonstration plan.
+
+    A bad plan raises :class:`FaultError`, which :func:`main` turns into
+    the one-line exit-2 contract via :func:`_fail`."""
     if arg is None:
         return None
     if arg == "default":
         return default_fault_plan()
-    try:
-        return FaultPlan.load(arg)
-    except FaultError as exc:
-        raise SystemExit(f"error: {exc}") from None
+    return FaultPlan.load(arg)
 
 
 def _parse_partition(spec: str) -> PartitionWindow:
@@ -321,6 +333,114 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(soak.metrics(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def _parse_burst(spec: str):
+    """Parse a ``START:END:MULT`` overload burst window ([start, end) s)."""
+    from repro.workloads import BurstWindow
+
+    try:
+        start_s, end_s, mult_s = spec.split(":")
+        return BurstWindow(float(start_s), float(end_s), float(mult_s))
+    except ValueError:
+        raise ConfigurationError(
+            f"--burst expects START:END:MULT, got {spec!r}"
+        ) from None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.chaos import run_service_soak
+    from repro.service import MediatorService, ServiceConfig
+
+    cap_levels = (
+        tuple(float(part) for part in args.cap_levels.split(",") if part)
+        if args.cap_levels
+        else ()
+    )
+    config = ServiceConfig(
+        policy=args.policy,
+        p_cap_w=args.cap,
+        use_oracle_estimates=args.oracle,
+        seed=args.seed,
+        rate_per_s=args.rate,
+        clients=args.clients,
+        diurnal_amplitude=args.diurnal_amplitude,
+        diurnal_period_s=args.diurnal_period,
+        bursts=tuple(_parse_burst(spec) for spec in (args.burst or [])),
+        work_scale=args.work_scale,
+        ingest_capacity=args.capacity,
+        backpressure=args.backpressure,
+        cap_levels=cap_levels,
+        cap_change_every_s=args.cap_every,
+        checkpoint_every_ticks=args.checkpoint_every,
+    )
+    if args.ticks <= 0:
+        raise ConfigurationError(f"--ticks must be positive, got {args.ticks}")
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        workdir = Path(args.workdir) if args.workdir is not None else Path(scratch)
+        if args.kills > 0 or args.churn > 0:
+            report = run_service_soak(
+                config,
+                workdir,
+                total_ticks=args.ticks,
+                kills=args.kills,
+                churn_events=args.churn,
+                chaos_seed=args.chaos_seed,
+                tear_journal_bytes=args.tear_bytes,
+            )
+            counters = dict(report.counters)
+            trace_hash = report.trace_hash
+            print(
+                banner(
+                    f"service soak: {args.ticks} ticks @ {config.p_cap_w:.0f} W "
+                    f"under {config.policy}"
+                )
+            )
+            kill_list = ",".join(str(t) for t in report.kill_ticks) or "-"
+            print(
+                f"kills at {kill_list}; {report.restarts} warm restarts, "
+                f"{report.replayed_ticks} ticks replayed"
+            )
+            print(
+                f"shed {report.shed_commands} regular commands (0 cap-safety); "
+                f"replayed {report.replayed_deliveries} deliveries to "
+                f"reconnecting clients"
+            )
+            print(f"stitched trace == uninterrupted baseline; sha256 {trace_hash}")
+        else:
+            service = MediatorService(config, workdir)
+            service.run_for_ticks(args.ticks)
+            service.close()
+            counters = dict(service.metrics.counters())
+            trace_hash = service.content_hash()
+            print(
+                banner(
+                    f"service: {args.ticks} ticks @ {config.p_cap_w:.0f} W "
+                    f"under {config.policy}"
+                )
+            )
+            print(f"trace sha256 {trace_hash}")
+        print(
+            f"ingest: {counters.get('service.ingest.accepted', 0):.0f} accepted, "
+            f"{counters.get('service.ingest.deferred', 0):.0f} deferred, "
+            f"{counters.get('service.ingest.rejected', 0):.0f} rejected, "
+            f"{counters.get('service.ingest.shed', 0):.0f} shed"
+        )
+        print(
+            f"jobs: {counters.get('service.admit.admitted', 0):.0f} admitted, "
+            f"{counters.get('service.jobs.completed', 0):.0f} completed; "
+            f"caps applied {counters.get('service.commands.cap_applied', 0):.0f}; "
+            f"deliveries {counters.get('service.sessions.deliveries', 0):.0f}"
+        )
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(counters, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"metrics -> {args.metrics_out}")
     return 0
 
 
@@ -749,6 +869,78 @@ def build_parser() -> argparse.ArgumentParser:
     faults_arg(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
 
+    p_serve = sub.add_parser(
+        "serve", help="long-running service mode: open-loop streaming ingest"
+    )
+    p_serve.add_argument(
+        "--ticks", type=int, default=2000, help="sim ticks to run (0.1 s each)"
+    )
+    p_serve.add_argument("--policy", choices=POLICY_NAMES, default="app+res-aware")
+    p_serve.add_argument(
+        "--rate", type=float, default=0.3, help="mean job submissions per second"
+    )
+    p_serve.add_argument(
+        "--clients", type=int, default=4, help="streaming client sessions"
+    )
+    p_serve.add_argument(
+        "--work-scale", type=float, default=0.05,
+        help="job size multiplier vs the catalog profiles",
+    )
+    p_serve.add_argument(
+        "--diurnal-amplitude", type=float, default=0.3,
+        help="sinusoidal rate modulation depth in [0, 1)",
+    )
+    p_serve.add_argument(
+        "--diurnal-period", type=float, default=300.0, metavar="S",
+        help="period of the diurnal modulation [s]",
+    )
+    p_serve.add_argument(
+        "--burst", action="append", default=None, metavar="START:END:MULT",
+        help="overload burst window in seconds (repeatable)",
+    )
+    p_serve.add_argument(
+        "--capacity", type=int, default=16, help="bounded ingest buffer slots"
+    )
+    p_serve.add_argument(
+        "--backpressure", choices=list(BACKPRESSURE_POLICIES), default="shed-oldest",
+        help="what a full ingest buffer does to new regular commands",
+    )
+    p_serve.add_argument(
+        "--cap-levels", type=str, default="", metavar="W1,W2,...",
+        help="provisioner cap schedule, cycled through the safety lane",
+    )
+    p_serve.add_argument(
+        "--cap-every", type=float, default=60.0, metavar="S",
+        help="seconds between scheduled cap changes",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=200, metavar="N",
+        help="ticks between durable service checkpoints",
+    )
+    p_serve.add_argument(
+        "--kills", type=int, default=0,
+        help="chaos: mid-stream supervisor kills (enables the soak harness)",
+    )
+    p_serve.add_argument(
+        "--churn", type=int, default=0,
+        help="chaos: client disconnect/reconnect events",
+    )
+    p_serve.add_argument("--chaos-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--tear-bytes", type=int, default=256, metavar="B",
+        help="tear up to B un-fsynced journal bytes at each kill",
+    )
+    p_serve.add_argument(
+        "--workdir", type=str, default=None,
+        help="keep journal/checkpoints here (default: a temp dir)",
+    )
+    p_serve.add_argument(
+        "--metrics-out", type=str, default=None, metavar="METRICS.json",
+        help="export the service counter map",
+    )
+    common(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
     p_cmp = sub.add_parser("compare", help="policies x mixes comparison")
     p_cmp.add_argument("--mixes", type=str, default="", help="comma-separated mix ids (default: all)")
     p_cmp.add_argument(
@@ -853,12 +1045,20 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv if argv is not None else sys.argv[1:])
     try:
         return int(args.func(args))
-    except (NetworkError, PersistenceError, ChaosError, ObservabilityError) as exc:
-        # Malformed network/outage schedules, corrupt checkpoints, torn
-        # journals, failed soak invariants, damaged traces: one clear line,
-        # never a traceback.
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except (
+        ConfigurationError,
+        FaultError,
+        ServiceError,
+        NetworkError,
+        PersistenceError,
+        ChaosError,
+        ObservabilityError,
+    ) as exc:
+        # Malformed configs/fault plans/network schedules, corrupt
+        # checkpoints, torn journals, failed soak invariants, damaged
+        # traces, broken service streams: one clear line, never a
+        # traceback.
+        return _fail(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -655,6 +655,19 @@ class PowerMediator:
 
     # ----------------------------------------------------------- allocation
 
+    def ensure_plan(self) -> None:
+        """Adopt an IDLE plan if none exists, so an empty server can tick.
+
+        Closed-loop runs admit an application (which plans) before the
+        first tick; an open-loop service must be able to tick an empty
+        server while it waits for arrivals. Idempotent - a no-op once any
+        plan (idle or real) has been adopted or restored.
+        """
+        if self._coordinator.plan is None:
+            self._coordinator.adopt(
+                AllocationPlan(mode=CoordinationMode.IDLE, p_cap_w=self.p_cap_w)
+            )
+
     def reallocate(self) -> AllocationPlan:
         """Build a context, plan, and hand the plan to the Coordinator.
 

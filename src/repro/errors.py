@@ -133,6 +133,16 @@ class TraceError(ObservabilityError):
     """
 
 
+class ServiceError(ReproError):
+    """The streaming service facade was misused or violated a stream invariant.
+
+    Examples: submitting to a closed ingest buffer, a client session whose
+    replay cursor points past the retained delivery window, or a delivery
+    sequence gap detected on reconnect. Like :class:`PersistenceError`, the
+    message is a single line suitable for verbatim CLI display.
+    """
+
+
 class NetworkError(ReproError):
     """A simulated-network or control-plane configuration is invalid.
 

@@ -18,6 +18,7 @@ Three cooperating layers, all optional and zero-cost when unused:
 
 from repro.observability.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.observability.profiling import PhaseProfiler
+from repro.observability.streaming import StreamingTraceBus
 from repro.observability.trace import (
     NULL_TRACE_BUS,
     TRACE_SCHEMA_VERSION,
@@ -39,6 +40,7 @@ __all__ = [
     "PhaseProfiler",
     "NULL_TRACE_BUS",
     "NullTraceBus",
+    "StreamingTraceBus",
     "TRACE_SCHEMA_VERSION",
     "TraceBus",
     "TraceEvent",

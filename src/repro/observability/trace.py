@@ -84,6 +84,13 @@ SIM_KINDS = frozenset(
         "cp-suspect",  # heartbeat loss made the controller suspect a node
         "cp-reintegrate",  # a suspect node's heartbeat returned
         "cp-reconcile",  # anti-entropy reissued state after a heal
+        "client-connect",  # a service client session opened (or churned in)
+        "client-disconnect",  # a client session dropped (churned out)
+        "client-replay",  # a reconnecting client replayed missed deliveries
+        "ingest-shed",  # backpressure shed the oldest buffered arrival
+        "ingest-reject",  # backpressure NACKed a new arrival at the door
+        "overload-enter",  # ingest occupancy crossed the overload watermark
+        "overload-exit",  # ingest occupancy fell back below the watermark
     }
 )
 

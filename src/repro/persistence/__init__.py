@@ -37,6 +37,17 @@ from repro.persistence.journal import (
     read_journal,
     repair_torn_tail,
 )
+from repro.persistence.segments import (
+    SegmentedJournalWriter,
+    list_segments,
+    prune_segments,
+    read_segmented,
+    repair_segmented_tail,
+    replay_records_from,
+    segment_filename,
+    segment_start_seq,
+    segments_size_bytes,
+)
 from repro.persistence.supervisor import (
     AdmitApp,
     Advance,
@@ -61,15 +72,24 @@ __all__ = [
     "MediatorKilled",
     "RecoveryStats",
     "RunRecipe",
+    "SegmentedJournalWriter",
     "SetCap",
     "Supervisor",
     "checkpoint_filename",
     "command_from_dict",
     "command_to_dict",
     "latest_checkpoint",
+    "list_segments",
+    "prune_segments",
     "read_checkpoint",
     "read_journal",
+    "read_segmented",
+    "repair_segmented_tail",
     "repair_torn_tail",
+    "replay_records_from",
     "restore_mediator",
+    "segment_filename",
+    "segment_start_seq",
+    "segments_size_bytes",
     "write_checkpoint",
 ]

@@ -1,0 +1,318 @@
+"""Journal segment rotation, replay cursors, and retention pruning.
+
+One :class:`~repro.persistence.journal.JournalWriter` file grows without
+bound - fatal for the service mode, whose journal must survive multi-day
+soaks in bounded disk. This module shards the same record stream across
+**segments**: files named ``journal-<start_seq>.jsonl`` where ``start_seq``
+is the sequence number of the file's first record. Because sequence numbers
+are global and gap-free, the filename doubles as an index: a replay cursor
+finds its segment with a binary search over the directory listing and never
+opens the segments before it, and retention can delete whole prefix
+segments once a checkpoint makes their records obsolete.
+
+Durability semantics are inherited from the single-file journal:
+
+* within a segment, the usual fsync points apply;
+* rotation closes (flush + fsync) the outgoing segment, so **only the last
+  segment may ever be torn**. A malformed final line in an interior segment
+  means lost durable records, which :func:`read_segmented` detects as a
+  sequence discontinuity against the next segment's filename and refuses
+  with :class:`~repro.errors.JournalError`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import JournalError
+from repro.persistence.journal import JournalWriter, read_journal, repair_torn_tail
+
+__all__ = [
+    "SegmentedJournalWriter",
+    "list_segments",
+    "prune_segments",
+    "read_segmented",
+    "repair_segmented_tail",
+    "replay_records_from",
+    "segment_filename",
+    "segment_start_seq",
+    "segments_size_bytes",
+]
+
+_SEGMENT_RE = re.compile(r"^journal-(\d{10})\.jsonl$")
+
+
+def segment_filename(start_seq: int) -> str:
+    """Canonical segment name; zero-padded so lexicographic order is seq order."""
+    if start_seq < 0:
+        raise JournalError(f"segment start_seq must be non-negative, got {start_seq}")
+    return f"journal-{start_seq:010d}.jsonl"
+
+
+def segment_start_seq(path: str | Path) -> int:
+    """The first sequence number a segment file claims to hold."""
+    name = Path(path).name
+    match = _SEGMENT_RE.match(name)
+    if match is None:
+        raise JournalError(f"{name!r} is not a journal segment name")
+    return int(match.group(1))
+
+
+def list_segments(directory: str | Path) -> list[Path]:
+    """Every segment in ``directory``, in sequence order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        (p for p in directory.iterdir() if _SEGMENT_RE.match(p.name)),
+        key=segment_start_seq,
+    )
+
+
+def segments_size_bytes(directory: str | Path) -> int:
+    """Total on-disk footprint of the journal's segments."""
+    return sum(p.stat().st_size for p in list_segments(directory))
+
+
+class SegmentedJournalWriter:
+    """A :class:`JournalWriter` that rotates to a new file every N records.
+
+    The record stream - sequence numbers, ops, durability points - is
+    exactly what one unsegmented writer would produce; only the file
+    boundaries differ. Rotation happens *before* the append that would
+    exceed ``records_per_segment``, and the outgoing segment is closed with
+    a final fsync so every interior segment is durable in full.
+
+    Args:
+        directory: Segment directory; created if missing.
+        records_per_segment: Records per file before rotating.
+        fsync_every_ticks: Passed through to each segment's writer.
+        start_seq: First sequence number (a recovering service passes
+            ``last durable seq + 1``; the new segment's filename records it).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        records_per_segment: int = 4096,
+        fsync_every_ticks: int = 25,
+        start_seq: int = 0,
+    ) -> None:
+        if records_per_segment < 1:
+            raise JournalError(
+                f"records_per_segment must be at least 1, got {records_per_segment}"
+            )
+        self._directory = Path(directory)
+        self._records_per_segment = records_per_segment
+        self._fsync_every_ticks = fsync_every_ticks
+        self._records_in_segment = 0
+        self._closed = False
+        self._writer = self._open_segment(start_seq)
+
+    def _open_segment(self, start_seq: int) -> JournalWriter:
+        path = self._directory / segment_filename(start_seq)
+        return JournalWriter(
+            path, fsync_every_ticks=self._fsync_every_ticks, start_seq=start_seq
+        )
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def next_seq(self) -> int:
+        return self._writer.next_seq
+
+    @property
+    def current_segment(self) -> Path:
+        """The file the next record will land in (the only tearable one)."""
+        return self._writer.path
+
+    @property
+    def durable_offset(self) -> int:
+        """Durable offset within the *current* segment (interior segments
+        are durable in full by the rotation rule)."""
+        return self._writer.durable_offset
+
+    def _maybe_rotate(self) -> None:
+        if self._records_in_segment < self._records_per_segment:
+            return
+        next_seq = self._writer.next_seq
+        self._writer.close()  # flush + fsync: interior segments are never torn
+        self._writer = self._open_segment(next_seq)
+        self._records_in_segment = 0
+
+    def append_meta(self, *, dt_s: float) -> None:
+        self._maybe_rotate()
+        self._writer.append_meta(dt_s=dt_s)
+        self._records_in_segment += 1
+
+    def append_command(self, index: int, command: dict) -> None:
+        self._maybe_rotate()
+        self._writer.append_command(index, command)
+        self._records_in_segment += 1
+
+    def append_tick(self, tick: int) -> None:
+        self._maybe_rotate()
+        self._writer.append_tick(tick)
+        self._records_in_segment += 1
+
+    def append_checkpoint(
+        self, *, tick: int, path: str, command: int, end_s: float | None
+    ) -> None:
+        self._maybe_rotate()
+        self._writer.append_checkpoint(tick=tick, path=path, command=command, end_s=end_s)
+        self._records_in_segment += 1
+
+    def abort(self) -> None:
+        """Crash-close: the current segment keeps its at-risk tail."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.abort()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+
+
+def repair_segmented_tail(directory: str | Path) -> bool:
+    """Trim a torn final record off the *last* segment, in place.
+
+    Interior segments were fsynced whole at rotation, so only the last may
+    legitimately be torn; damage anywhere else surfaces later as a
+    :func:`read_segmented` discontinuity. Returns whether anything was
+    trimmed.
+    """
+    segments = list_segments(directory)
+    if not segments:
+        return False
+    return repair_torn_tail(segments[-1])
+
+
+def read_segmented(directory: str | Path) -> list[dict]:
+    """Read the full record stream across all segments, validating stitching.
+
+    Checks, per segment: the first record's seq matches the filename's
+    ``start_seq`` (a renamed or cross-wired file fails loudly), and for
+    interior segments the last record's seq reaches exactly to the next
+    segment's ``start_seq`` (a short interior segment means durable records
+    were lost, which the torn-tail rule does not excuse).
+
+    Raises:
+        JournalError: on an empty directory, any single-segment damage, or
+            a cross-segment discontinuity.
+    """
+    segments = list_segments(directory)
+    if not segments:
+        raise JournalError(f"no journal segments in {directory}")
+    records: list[dict] = []
+    for index, path in enumerate(segments):
+        start_seq = segment_start_seq(path)
+        segment_records = read_journal(path)
+        last = index == len(segments) - 1
+        if not segment_records:
+            if last:
+                continue  # freshly rotated, crashed before the first append
+            raise JournalError(
+                f"{path.name}: interior segment holds no records"
+            )
+        first_seq = segment_records[0]["seq"]
+        if first_seq != start_seq:
+            raise JournalError(
+                f"{path.name}: first record seq {first_seq} does not match "
+                f"the filename's start_seq {start_seq}"
+            )
+        if not last:
+            next_start = segment_start_seq(segments[index + 1])
+            end_seq = segment_records[-1]["seq"]
+            if end_seq + 1 != next_start:
+                raise JournalError(
+                    f"{path.name}: segment ends at seq {end_seq} but the next "
+                    f"segment starts at {next_start}; durable records are missing"
+                )
+        records.extend(segment_records)
+    return records
+
+
+def replay_records_from(directory: str | Path, from_seq: int) -> list[dict]:
+    """The records with ``seq >= from_seq``, without reading earlier segments.
+
+    This is the replay cursor: a recovering service knows the last sequence
+    number its checkpoint covers and asks for everything after it. Segments
+    wholly before the cursor are skipped by filename alone (and may already
+    have been pruned - the cursor never needs them).
+
+    Raises:
+        JournalError: if ``from_seq`` is negative, or precedes the first
+            retained segment (the records it asks for were pruned away).
+    """
+    if from_seq < 0:
+        raise JournalError(f"replay cursor must be non-negative, got {from_seq}")
+    segments = list_segments(directory)
+    if not segments:
+        raise JournalError(f"no journal segments in {directory}")
+    if from_seq < segment_start_seq(segments[0]):
+        raise JournalError(
+            f"replay cursor {from_seq} precedes the first retained segment "
+            f"({segments[0].name}); the records were pruned"
+        )
+    # Keep the last segment whose start_seq <= from_seq, plus everything after.
+    keep_from = 0
+    for index, path in enumerate(segments):
+        if segment_start_seq(path) <= from_seq:
+            keep_from = index
+    records: list[dict] = []
+    for index in range(keep_from, len(segments)):
+        path = segments[index]
+        segment_records = read_journal(path)
+        last = index == len(segments) - 1
+        if not segment_records and not last:
+            raise JournalError(f"{path.name}: interior segment holds no records")
+        if segment_records and segment_records[0]["seq"] != segment_start_seq(path):
+            raise JournalError(
+                f"{path.name}: first record seq {segment_records[0]['seq']} does "
+                f"not match the filename's start_seq {segment_start_seq(path)}"
+            )
+        if not last and segment_records:
+            next_start = segment_start_seq(segments[index + 1])
+            if segment_records[-1]["seq"] + 1 != next_start:
+                raise JournalError(
+                    f"{path.name}: segment ends at seq {segment_records[-1]['seq']} "
+                    f"but the next segment starts at {next_start}; durable "
+                    "records are missing"
+                )
+        records.extend(r for r in segment_records if r["seq"] >= from_seq)
+    return records
+
+
+def prune_segments(directory: str | Path, keep_from_seq: int) -> int:
+    """Delete segments whose records all precede ``keep_from_seq``.
+
+    Called by retention once a durable checkpoint covers everything up to
+    ``keep_from_seq``: replay will never ask for earlier records. A segment
+    survives if any of its records could be >= ``keep_from_seq`` (i.e. the
+    *next* segment's start_seq exceeds the cursor), and the last segment
+    always survives (it is the append target). Returns segments deleted.
+    """
+    if keep_from_seq < 0:
+        raise JournalError(f"retention cursor must be non-negative, got {keep_from_seq}")
+    segments = list_segments(directory)
+    deleted = 0
+    for index in range(len(segments) - 1):
+        next_start = segment_start_seq(segments[index + 1])
+        if next_start <= keep_from_seq:
+            try:
+                segments[index].unlink()
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot prune segment {segments[index].name}: {exc}"
+                ) from None
+            deleted += 1
+        else:
+            break  # segments are ordered; nothing later is prunable either
+    return deleted

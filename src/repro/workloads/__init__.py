@@ -23,6 +23,7 @@ from repro.workloads.profiles import WorkloadProfile, WORKLOAD_CLASSES
 from repro.workloads.catalog import CATALOG, get_application, application_names
 from repro.workloads.mixes import MIXES, Mix, get_mix
 from repro.workloads.generator import ArrivalEvent, ArrivalSchedule, PhasedProfile
+from repro.workloads.population import BurstWindow, ClientOffer, OpenLoopPopulation
 from repro.workloads.traces import ClusterPowerTrace, peak_shaving_caps
 
 __all__ = [
@@ -36,6 +37,9 @@ __all__ = [
     "get_mix",
     "ArrivalEvent",
     "ArrivalSchedule",
+    "BurstWindow",
+    "ClientOffer",
+    "OpenLoopPopulation",
     "PhasedProfile",
     "ClusterPowerTrace",
     "peak_shaving_caps",

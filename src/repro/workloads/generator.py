@@ -15,6 +15,7 @@ provides the workload-side machinery for those experiments:
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,10 +42,20 @@ class ArrivalEvent:
     forced_departure_s: float | None = None
 
     def __post_init__(self) -> None:
+        # A bare ``< 0`` check lets NaN through (every comparison against
+        # NaN is False), and a NaN time silently breaks the schedule's sort
+        # order - so demand finiteness explicitly.
+        if not math.isfinite(self.time_s):
+            raise ConfigurationError(f"arrival time must be finite, got {self.time_s!r}")
         if self.time_s < 0:
             raise ConfigurationError("arrival time must be non-negative")
-        if self.forced_departure_s is not None and self.forced_departure_s <= self.time_s:
-            raise ConfigurationError("forced departure must follow the arrival")
+        if self.forced_departure_s is not None:
+            if not math.isfinite(self.forced_departure_s):
+                raise ConfigurationError(
+                    f"forced departure must be finite, got {self.forced_departure_s!r}"
+                )
+            if self.forced_departure_s <= self.time_s:
+                raise ConfigurationError("forced departure must follow the arrival")
 
 
 @dataclass
@@ -108,10 +119,18 @@ class ArrivalSchedule:
                 draws of the same application can co-exist on one server.
 
         Raises:
-            ConfigurationError: on non-positive rate or horizon.
+            ConfigurationError: on a non-positive or non-finite rate or
+                horizon (``NaN <= 0`` is False, so the finite check must be
+                explicit or a NaN rate would generate a NaN-timed schedule).
         """
-        if rate_per_s <= 0 or horizon_s <= 0:
-            raise ConfigurationError("rate and horizon must be positive")
+        if not (math.isfinite(rate_per_s) and rate_per_s > 0):
+            raise ConfigurationError(
+                f"arrival rate must be finite and positive, got {rate_per_s!r}"
+            )
+        if not (math.isfinite(horizon_s) and horizon_s > 0):
+            raise ConfigurationError(
+                f"schedule horizon must be finite and positive, got {horizon_s!r}"
+            )
         rng = np.random.default_rng(seed)
         pool = sorted(names) if names else sorted(CATALOG)
         for name in pool:

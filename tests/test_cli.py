@@ -131,6 +131,59 @@ class TestClusterNetsimFlags:
         assert "command=" in out and "ack=" in out
 
 
+class TestServe:
+    def test_serve_runs_the_open_loop_service(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "serve-metrics.json"
+        code = main(
+            [
+                "serve", "--ticks", "300", "--rate", "0.4", "--clients", "2",
+                "--work-scale", "0.02", "--cap-levels", "90,105",
+                "--cap-every", "8", "--checkpoint-every", "100",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service: 300 ticks" in out
+        assert "ingest:" in out
+        assert "caps applied 3" in out
+        assert "trace sha256" in out
+        counters = json.loads(metrics_path.read_text())
+        assert counters["service.commands.cap_applied"] == 3
+        assert counters["service.ingest.safety_shed"] == 0
+
+    def test_serve_with_chaos_runs_the_soak_harness(self, capsys):
+        code = main(
+            [
+                "serve", "--ticks", "300", "--rate", "0.4", "--clients", "2",
+                "--work-scale", "0.02", "--kills", "1", "--churn", "2",
+                "--chaos-seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service soak: 300 ticks" in out
+        assert "1 warm restarts" in out
+        assert "stitched trace == uninterrupted baseline" in out
+
+    def test_serve_malformed_burst_exits_2(self, capsys):
+        code = main(["serve", "--ticks", "10", "--burst", "bogus"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: --burst")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_serve_bad_config_exits_2(self, capsys):
+        code = main(["serve", "--ticks", "10", "--rate", "-1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+
 class TestExtensionSubcommands:
     def test_place(self, capsys):
         code = main(["place", "--caps", "120,85", "--jobs", "stream,kmeans"])
@@ -139,9 +192,12 @@ class TestExtensionSubcommands:
         assert "power-aware" in out
         assert "s0(120W)" in out
 
-    def test_place_unknown_job_fails_loudly(self):
-        with pytest.raises(Exception):
-            main(["place", "--jobs", "doom"])
+    def test_place_unknown_job_fails_loudly(self, capsys):
+        code = main(["place", "--jobs", "doom"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: unknown application")
+        assert "Traceback" not in captured.err
 
     def test_zones(self, capsys):
         code = main(["zones", "--mix", "1", "--limits", "14,11", "--duration", "15"])
@@ -197,9 +253,15 @@ class TestFaultsFlag:
         assert code == 0
         assert "degraded telemetry" in out
 
-    def test_missing_plan_file_fails_loudly(self):
-        with pytest.raises(SystemExit):
-            main(["mix", "--mix", "10", "--cap", "80", "--faults", "/no/such/plan.json"])
+    def test_missing_plan_file_fails_loudly(self, capsys):
+        code = main(
+            ["mix", "--mix", "10", "--cap", "80", "--faults", "/no/such/plan.json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
 
     def test_dynamic_with_default_plan(self, capsys):
         code = main(

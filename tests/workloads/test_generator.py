@@ -16,6 +16,16 @@ class TestArrivalEvent:
         with pytest.raises(ConfigurationError):
             ArrivalEvent(time_s=-1.0, profile=kmeans)
 
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_time_rejected(self, kmeans, bad):
+        with pytest.raises(ConfigurationError):
+            ArrivalEvent(time_s=bad, profile=kmeans)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_departure_rejected(self, kmeans, bad):
+        with pytest.raises(ConfigurationError):
+            ArrivalEvent(time_s=1.0, profile=kmeans, forced_departure_s=bad)
+
     def test_departure_before_arrival_rejected(self, kmeans):
         with pytest.raises(ConfigurationError):
             ArrivalEvent(time_s=5.0, profile=kmeans, forced_departure_s=4.0)
@@ -88,9 +98,17 @@ class TestPoissonGeneration:
                 rate_per_s=0.5, horizon_s=10.0, names=["doom"]
             )
 
-    def test_invalid_rate_rejected(self):
+    @pytest.mark.parametrize(
+        "bad", [0.0, -0.5, float("nan"), float("inf"), float("-inf")]
+    )
+    def test_invalid_rate_rejected(self, bad):
         with pytest.raises(ConfigurationError):
-            ArrivalSchedule.poisson(rate_per_s=0.0, horizon_s=10.0)
+            ArrivalSchedule.poisson(rate_per_s=bad, horizon_s=10.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -10.0, float("nan"), float("inf")])
+    def test_invalid_horizon_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            ArrivalSchedule.poisson(rate_per_s=0.1, horizon_s=bad)
 
 
 class TestPhasedProfile:
