@@ -1,0 +1,25 @@
+"""Strategic (adversarial) tenant workloads and their scheduling.
+
+This package holds the *attack side* of the byzantine arc: declarative
+:class:`AdversarySchedule` plans and the :class:`AdversaryEngine` that
+executes them against a :class:`~repro.server.server.SimulatedServer`.
+The *defense side* lives with the mediator in :mod:`repro.core.trust`.
+"""
+
+from repro.adversary.plan import (
+    ADVERSARY_KINDS,
+    POWER_KINDS,
+    AdversarySchedule,
+    AdversarySpec,
+    default_adversary_schedule,
+)
+from repro.adversary.engine import AdversaryEngine
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "POWER_KINDS",
+    "AdversarySchedule",
+    "AdversarySpec",
+    "AdversaryEngine",
+    "default_adversary_schedule",
+]

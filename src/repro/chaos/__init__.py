@@ -7,8 +7,23 @@ breach, conserved battery ledgers, final utility within tolerance of an
 uninterrupted baseline, and (when no safe hold is configured) a
 bit-identical timeline. Composes with :class:`~repro.faults.plan.FaultPlan`
 so substrate faults and mediator crashes can overlap.
+
+The byzantine arm (:mod:`repro.chaos.adversary`) swaps crash faults for
+strategic tenants: seeded attack schedules against the mediator's trust
+defenses, with honest-utility, detection-latency, and false-positive bounds.
 """
 
+from repro.chaos.adversary import (
+    DETECTION_BOUND_TICKS,
+    HONEST_RETENTION_FLOOR,
+    UNDEFENDED_SLACK,
+    AdversaryRunResult,
+    AdversarySoakResult,
+    AttackScenario,
+    default_attack_scenario,
+    run_adversary_mix,
+    run_adversary_soak,
+)
 from repro.chaos.harness import (
     ChaosRunResult,
     ChaosSoakResult,
@@ -35,16 +50,25 @@ from repro.chaos.partition import (
 )
 
 __all__ = [
+    "AdversaryRunResult",
+    "AdversarySoakResult",
+    "AttackScenario",
     "ChaosRunResult",
     "ChaosSoakResult",
+    "DETECTION_BOUND_TICKS",
+    "HONEST_RETENTION_FLOOR",
+    "UNDEFENDED_SLACK",
     "ChurnSchedule",
     "ServiceSoakReport",
     "PartitionChaosResult",
     "PartitionSoakResult",
+    "default_attack_scenario",
     "kill_outages",
     "kill_schedule",
     "mix_recipe",
     "partition_schedule",
+    "run_adversary_mix",
+    "run_adversary_soak",
     "run_chaos_mix",
     "run_chaos_soak",
     "run_partition_chaos",

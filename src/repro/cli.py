@@ -46,7 +46,9 @@ from repro.core.simulation import (
     summarize_mix_run,
 )
 from repro.core.utility import CandidateSet, app_utility_curve, resource_marginal_utilities
+from repro.adversary.plan import ADVERSARY_KINDS
 from repro.errors import (
+    AdversaryError,
     ChaosError,
     ConfigurationError,
     FaultError,
@@ -59,6 +61,7 @@ from repro.faults import FaultPlan, default_fault_plan
 from repro.netsim import NetConfig, PartitionWindow
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import (
+    ADVERSARY_KINDS as ADVERSARY_TRACE_KINDS,
     CONTROL_PLANE_KINDS,
     TraceBus,
     read_trace,
@@ -327,6 +330,68 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"{soak.total_downtime_ticks} downtime ticks, "
         f"max utility gap {soak.max_utility_gap:.2%} "
         f"(tolerance {args.tolerance:.0%})"
+    )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(soak.metrics(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics -> {args.metrics_out}")
+    return 0
+
+
+def cmd_adversary(args: argparse.Namespace) -> int:
+    from repro.chaos import run_adversary_mix, run_adversary_soak
+
+    kinds = ADVERSARY_KINDS if args.kind == "all" else (args.kind,)
+    compare = not args.no_undefended
+    if args.soak > 1:
+        soak = run_adversary_soak(
+            kinds=kinds,
+            seeds=list(range(args.soak)),
+            mix_id=args.mix,
+            compare_undefended=compare,
+        )
+    else:
+        from repro.chaos import AdversarySoakResult
+
+        soak = AdversarySoakResult(
+            runs=tuple(
+                run_adversary_mix(
+                    kind, mix_id=args.mix, seed=args.seed, compare_undefended=compare
+                )
+                for kind in kinds
+            )
+        )
+    mix = get_mix(args.mix)
+    seeds_note = f"seeds 0..{args.soak - 1}" if args.soak > 1 else f"seed {args.seed}"
+    print(banner(f"adversary defense: {mix}, {seeds_note}"))
+    rows = []
+    for run in soak.runs:
+        scenario = run.scenario
+        delta = "n/a"
+        if run.undefended is not None:
+            delta = f"{min(run.defended.normalized_throughput[a] - run.undefended.normalized_throughput[a] for a in run.honest_retention):+.4f}"
+        rows.append(
+            [
+                scenario.kind,
+                scenario.policy,
+                f"{scenario.p_cap_w:.0f}",
+                ",".join(run.attackers),
+                f"{run.worst_detection_latency_ticks} <= {scenario.detection_bound_ticks}",
+                f"{run.worst_retention:.3f} >= {scenario.retention_floor}",
+                delta,
+            ]
+        )
+    print(
+        format_table(
+            ["kind", "policy", "cap W", "attacker", "detect ticks", "retention", "defense delta"],
+            rows,
+        )
+    )
+    print(
+        f"{len(soak.runs)} comparisons survived: every attacker quarantined "
+        f"within bound, false-positive rate {soak.false_positive_rate:.0%}, "
+        f"worst honest retention {soak.min_honest_retention:.3f}"
     )
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
@@ -726,7 +791,9 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 def cmd_trace(args: argparse.Namespace) -> int:
     events = read_trace(args.path)
-    checks = verify_trace(events)
+    # Tolerant of kinds a newer writer added: they surface in the summary's
+    # ``other`` bucket instead of failing the structural verification.
+    checks = verify_trace(events, strict_kinds=False)
     summary = summarize_trace(events)
     print(banner(f"trace {args.path}"))
     print(
@@ -750,6 +817,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
             + ", ".join(f"{k.removeprefix('cp-')}={v}" for k, v in sorted(cp.items()))
             + ")"
         )
+    adv = {
+        kind: count
+        for kind, count in summary["kinds"].items()
+        if kind in ADVERSARY_TRACE_KINDS
+    }
+    if adv:
+        print(
+            f"adversary/defense: {sum(adv.values())} events ("
+            + ", ".join(f"{k.removeprefix('adv-')}={v}" for k, v in sorted(adv.items()))
+            + ")"
+        )
+    if summary["other"]:
+        # Kinds outside the schema (e.g. a newer writer); counted, not fatal.
+        print(f"other: {summary['other']} events of unrecognized kinds")
     if summary["modes"]:
         print("modes: " + ", ".join(f"{m}={n}" for m, n in summary["modes"].items()))
     print(f"verified ok; sha256 {summary['hash']}")
@@ -868,6 +949,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_chaos)
     faults_arg(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_adv = sub.add_parser(
+        "adversary",
+        help="byzantine arms: strategic tenants vs the mediator's trust defenses",
+    )
+    p_adv.add_argument(
+        "--kind",
+        choices=["all", *ADVERSARY_KINDS],
+        default="all",
+        help="attack class to run (default: every kind)",
+    )
+    p_adv.add_argument("--mix", type=int, default=1, help="Table II mix id (1-15)")
+    p_adv.add_argument("--seed", type=int, default=0)
+    p_adv.add_argument(
+        "--soak", type=int, default=1, metavar="N",
+        help="run seeds 0..N-1 per kind instead of a single seed",
+    )
+    p_adv.add_argument(
+        "--no-undefended", action="store_true",
+        help="skip the undefended comparison arm",
+    )
+    p_adv.add_argument(
+        "--metrics-out", type=str, default=None, metavar="METRICS.json",
+        help="export the defended arms' merged metrics registry",
+    )
+    p_adv.set_defaults(func=cmd_adversary)
 
     p_serve = sub.add_parser(
         "serve", help="long-running service mode: open-loop streaming ingest"
@@ -1053,11 +1160,12 @@ def main(argv: list[str] | None = None) -> int:
         PersistenceError,
         ChaosError,
         ObservabilityError,
+        AdversaryError,
     ) as exc:
         # Malformed configs/fault plans/network schedules, corrupt
         # checkpoints, torn journals, failed soak invariants, damaged
-        # traces, broken service streams: one clear line, never a
-        # traceback.
+        # traces, broken service streams, bad attack schedules: one clear
+        # line, never a traceback.
         return _fail(exc)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -158,10 +159,51 @@ class PowerAllocator:
     def grain_w(self) -> float:
         return self._grain_w
 
+    @staticmethod
+    def _check_weights(
+        names: list[str], weights: Mapping[str, float] | None
+    ) -> dict[str, float] | None:
+        """Validate ``weights`` against ``names``; ``None`` when trivial.
+
+        Collapsing the all-ones case to ``None`` keeps the weighted code
+        path from ever perturbing an unweighted solve (golden traces pin
+        defense-on == defense-off when every tenant is trusted).
+        """
+        if weights is None:
+            return None
+        weight_of: dict[str, float] = {}
+        for name in names:
+            value = float(weights.get(name, 1.0))
+            if not math.isfinite(value) or value <= 0.0:
+                raise ConfigurationError(
+                    f"allocation weight for {name!r} must be positive and "
+                    f"finite, got {value}"
+                )
+            weight_of[name] = value
+        if all(value == 1.0 for value in weight_of.values()):
+            return None
+        return weight_of
+
     def allocate(
-        self, candidates: dict[str, CandidateSet], budget_w: float
+        self,
+        candidates: dict[str, CandidateSet],
+        budget_w: float,
+        *,
+        weights: Mapping[str, float] | None = None,
     ) -> Allocation:
         """Divide ``budget_w`` across the applications in ``candidates``.
+
+        Args:
+            candidates: Per-app candidate sets.
+            budget_w: The dynamic budget to divide.
+            weights: Optional per-app utility multipliers in (0, 1] - the
+                TrustScorer's allocation de-weighting. A distrusted app's
+                performance counts for less in the objective, so the
+                knapsack shifts budget toward trusted tenants. Omitted apps
+                weigh 1.0; ``None`` (or all-ones) is bit-identical to the
+                unweighted solve. With weights in force, ``objective`` is
+                reported in weighted units; per-app ``relative_perf`` stays
+                unweighted truth.
 
         Returns:
             The optimal :class:`Allocation` (up to discretization). Because
@@ -174,11 +216,13 @@ class PowerAllocator:
         Raises:
             PowerBudgetError: when exclusion is disabled and the budget
                 cannot host every application simultaneously.
-            ConfigurationError: on an empty candidate map.
+            ConfigurationError: on an empty candidate map or a non-positive
+                weight.
         """
         if not candidates:
             raise ConfigurationError("no applications to allocate power to")
         names = sorted(candidates)
+        weight_of = self._check_weights(names, weights)
         budget = max(0.0, budget_w)
         steps = int(math.floor(budget / self._grain_w))
 
@@ -192,6 +236,8 @@ class PowerAllocator:
                 cost = int(math.ceil(cset.power_w[idx] / self._grain_w - 1e-9))
                 if cost <= steps:
                     utility = float(cset.perf[idx] / cset.perf_nocap)
+                    if weight_of is not None:
+                        utility *= weight_of[name]
                     # A tiny inclusion bonus breaks ties toward running the
                     # app rather than idling it for equal objective value.
                     opts.append((cost, utility + 1e-9, idx))
@@ -257,23 +303,31 @@ class PowerAllocator:
                 )
             w -= cost
         dp_result = Allocation(budget_w=budget_w, apps=apps, objective=objective)
-        fair = self.allocate_fair(candidates, budget_w)
+        fair = self.allocate_fair(candidates, budget_w, weights=weights)
         if fair.excluded and not self._allow_exclusion:
             return dp_result
         return dp_result if dp_result.objective >= fair.objective else fair
 
     def allocate_fair(
-        self, candidates: dict[str, CandidateSet], budget_w: float
+        self,
+        candidates: dict[str, CandidateSet],
+        budget_w: float,
+        *,
+        weights: Mapping[str, float] | None = None,
     ) -> Allocation:
         """Equal per-app budgets with per-app best-fit knobs.
 
         This is *not* the paper's proposal - it is the building block of the
         fairness-oriented baselines: each application independently gets
         ``budget / k`` and picks its best configuration underneath it.
+        ``weights`` only scales the reported objective (the floor comparison
+        in :meth:`allocate` must be in the same units); each app's knob
+        choice under its own share is weight-independent.
         """
         if not candidates:
             raise ConfigurationError("no applications to allocate power to")
         names = sorted(candidates)
+        weight_of = self._check_weights(names, weights)
         share = max(0.0, budget_w) / len(names)
         apps: dict[str, AppAllocation] = {}
         objective = 0.0
@@ -298,5 +352,5 @@ class PowerAllocator:
                     power_w=float(cset.power_w[idx]),
                     relative_perf=rel,
                 )
-                objective += rel
+                objective += rel if weight_of is None else rel * weight_of[name]
         return Allocation(budget_w=budget_w, apps=apps, objective=objective)

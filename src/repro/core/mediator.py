@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
+from repro.adversary.engine import AdversaryEngine
+from repro.adversary.plan import AdversarySchedule, AdversarySpec
 from repro.core.accountant import Accountant
 from repro.core.coordinator import AllocationPlan, CoordinationMode, Coordinator, TimeSlot
 from repro.core.events import DepartureEvent, Event, PhaseChangeEvent
@@ -53,6 +55,12 @@ from repro.core.resilience import (
     FaultStats,
     ResilienceConfig,
     TelemetryWatchdog,
+)
+from repro.core.trust import (
+    AppObservation,
+    DefenseConfig,
+    TrustScorer,
+    TrustState,
 )
 from repro.core.utility import CandidateSet
 from repro.esd.battery import LeadAcidBattery
@@ -221,6 +229,15 @@ class PowerMediator:
             :class:`~repro.faults.injector.FaultInjector` degrades the
             substrate on schedule and the resilience layer earns its keep.
         resilience: Degraded-mode tunables (defaults are sensible).
+        adversaries: Optional strategic-tenant schedule; an
+            :class:`~repro.adversary.engine.AdversaryEngine` executes it
+            against the server each tick. Attacks act purely through the
+            substrate (parasitic draw, inflated heartbeats) - the mediator's
+            only countermeasure is the TrustScorer.
+        defense: TrustScorer tunables; defenses are *on by default* and
+            cost nothing on honest runs (the scorer is pure bookkeeping and
+            draws no RNG). Pass ``DefenseConfig(enabled=False)`` to study
+            undefended behaviour.
     """
 
     def __init__(
@@ -240,6 +257,8 @@ class PowerMediator:
         faults: FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
         trace_bus: TraceBus | None = None,
+        adversaries: AdversarySchedule | None = None,
+        defense: DefenseConfig | None = None,
     ) -> None:
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
@@ -292,6 +311,9 @@ class PowerMediator:
         self._breach_last_tick = False
         self._last_psys_energy_j = server.rapl.read_energy_j("psys")
         self._safe_hold_ticks = 0
+
+        self._adversary = AdversaryEngine(server, adversaries)
+        self._trust = TrustScorer(defense)
 
     # ------------------------------------------------------------ accessors
 
@@ -389,6 +411,29 @@ class PowerMediator:
         return self._watchdog.degraded
 
     @property
+    def adversary_engine(self) -> AdversaryEngine:
+        """The strategic-tenant runtime (empty on honest runs)."""
+        return self._adversary
+
+    @property
+    def trust(self) -> TrustScorer:
+        """The defense's trust scorer (live object)."""
+        return self._trust
+
+    def register_adversary(self, spec: AdversarySpec) -> None:
+        """Attach a strategic-behaviour spec to a (present or future) tenant.
+
+        Service mode calls this at admission time for adversarial clients;
+        experiments may also call it before :meth:`add_application`.
+
+        Raises:
+            AdversaryError: when the app already has a *different* spec
+                (re-registering an identical one is a no-op, so journal
+                replay is idempotent).
+        """
+        self._adversary.register(spec)
+
+    @property
     def dt_s(self) -> float:
         """Tick length (the supervisor's journal granularity)."""
         return self._dt_s
@@ -484,6 +529,8 @@ class PowerMediator:
             "breach_last_tick": self._breach_last_tick,
             "last_psys_energy_j": self._last_psys_energy_j,
             "safe_hold_ticks": self._safe_hold_ticks,
+            "adversary": self._adversary.state_dict(),
+            "trust": self._trust.state_dict(),
         }
 
     @staticmethod
@@ -582,6 +629,11 @@ class PowerMediator:
         self._breach_last_tick = bool(state["breach_last_tick"])
         self._last_psys_energy_j = float(state["last_psys_energy_j"])
         self._safe_hold_ticks = int(state["safe_hold_ticks"])
+        # Pre-adversary checkpoints lack these keys: default to honest.
+        if "adversary" in state:
+            self._adversary.load_state_dict(state["adversary"])
+        if "trust" in state:
+            self._trust.load_state_dict(state["trust"])
 
     # ------------------------------------------------------------- messages
 
@@ -640,6 +692,8 @@ class PowerMediator:
         self._oracle.pop(app, None)
         self._retrier.forget(app)
         self._actuation_faulted.discard(app)
+        self._adversary.forget(app)
+        self._trust.forget(app)
         if not completed:
             # Natural completions were already logged by the Accountant.
             self._accountant._log.append(  # noqa: SLF001 - mediator is the owner
@@ -680,24 +734,40 @@ class PowerMediator:
         duty cycling (R4) needs a battery it can bank on, so the plan
         degrades to spatial/temporal coordination (R3a/R3b) until the ESD
         recovers.
+
+        The defense layer bends it a third way: quarantined applications
+        are omitted from the context entirely (the coordinator suspends
+        them by omission), SUSPECT/PROBATION apps plan at reduced utility
+        weight, and the effective cap carries the defense guard band while
+        anyone is off full trust.
         """
         if not self._managed:
             raise SchedulingError("no applications to allocate power to")
+        quarantined = set(self._trust.quarantined_apps())
+        planned = [n for n in sorted(self._managed) if n not in quarantined]
         policy = self._policy
         battery = self._battery
         if policy.uses_esd and not self._battery_trusted():
             policy = self._get_fallback_policy()
             battery = None
         with self._profiler.phase("allocate"):
-            ctx = PolicyContext(
-                config=self._server.config,
-                p_cap_w=self._effective_cap_w(),
-                oracle=dict(self._oracle),
-                estimates=dict(self._estimates),
-                population=self._get_population(),
-                battery=battery,
-            )
-            plan = self._guard_plan(policy.plan(ctx))
+            if not planned:
+                # Every tenant is quarantined: hold the server idle rather
+                # than hand the budget to known liars.
+                plan = AllocationPlan(
+                    mode=CoordinationMode.IDLE, p_cap_w=self._effective_cap_w()
+                )
+            else:
+                ctx = PolicyContext(
+                    config=self._server.config,
+                    p_cap_w=self._effective_cap_w(),
+                    oracle={n: self._oracle[n] for n in planned},
+                    estimates={n: self._estimates[n] for n in planned},
+                    population=self._get_population(),
+                    battery=battery,
+                    trust_weights=self._trust.weights() or None,
+                )
+                plan = self._guard_plan(policy.plan(ctx))
         esd_controller = None
         if plan.mode is CoordinationMode.ESD:
             assert self._battery is not None and plan.duty_cycle is not None
@@ -751,11 +821,15 @@ class PowerMediator:
         return True
 
     def _effective_cap_w(self) -> float:
-        """The cap planning targets: reduced while telemetry is degraded
-        or while a post-restart safe hold is in force."""
+        """The cap planning targets: reduced while telemetry is degraded,
+        while a post-restart safe hold is in force, or while the defense
+        distrusts any tenant (an undetected accomplice may still be burning
+        unaccounted watts)."""
         cap = self.p_cap_w
         if self._watchdog.degraded or self._safe_hold_ticks > 0:
             cap *= 1.0 - self._resilience_cfg.degraded_guard_band
+        if self._trust.distrusted():
+            cap *= 1.0 - self._trust.config.guard_band
         return cap
 
     def begin_safe_hold(self, ticks: int) -> None:
@@ -908,10 +982,21 @@ class PowerMediator:
         # measurement/optimization pipeline settles.
         if self._calibration_pending_s > 0:
             self._calibration_pending_s = max(0.0, self._calibration_pending_s - dt)
+        if self._adversary.specs():
+            with self._profiler.phase("adversary"):
+                self._drive_adversaries()
         with self._profiler.phase("actuate"):
             self._service_actuation()
         with self._profiler.phase("coordinate"):
             action = self._coordinator.step(dt)
+        # The knobs the engine is about to compute with; the defense checks
+        # attribution against these, not against whatever a same-tick
+        # emergency throttle may have actuated afterwards.
+        tick_knobs = (
+            {name: self._server.knobs.knob_of(name) for name in self._managed}
+            if self._trust.config.enabled and self._managed
+            else {}
+        )
         with self._profiler.phase("engine"):
             result = self._server.tick(
                 dt,
@@ -942,6 +1027,11 @@ class PowerMediator:
         )
         self._timeline.append(record)
         self._record_tick(record, action)
+        if tick_knobs:
+            # Must run before the phase-boundary swap: the evidence is
+            # checked against the profile the engine actually ticked with.
+            with self._profiler.phase("defense"):
+                self._observe_trust(result, tick_knobs)
         self._check_phase_boundaries()
         with self._profiler.phase("events"):
             for event in self._accountant.poll(result, telemetry_fresh=fresh):
@@ -1130,6 +1220,102 @@ class PowerMediator:
         self._breach_last_tick = breach
         return breach
 
+    # ---------------------------------------------------- adversary defense
+
+    def _drive_adversaries(self) -> None:
+        """Execute the registered attack specs for the coming tick."""
+        esd = self._coordinator.esd_controller
+        esd_on = bool(esd is not None and esd.in_on_phase)
+        transitions = self._adversary.begin_tick(self._server.now_s, esd_on=esd_on)
+        for app, kind, edge in transitions:
+            self._metrics.counter(f"adversary.windows.{edge}").inc()
+            self._trace.emit(
+                f"adv-attack-{edge}",
+                {"app": app, "kind": kind, "at_s": self._server.now_s},
+            )
+
+    def _observe_trust(self, result, tick_knobs: dict[str, KnobSetting]) -> None:
+        """Feed one tick of evidence to the TrustScorer and act on it.
+
+        Each managed app is cross-checked against the power/perf models the
+        mediator already plans with. On any state-machine transition the
+        posture changed, so the plan is rebuilt immediately (quarantine
+        suspension, de-weighting, and the defense guard band all flow
+        through :meth:`reallocate`).
+        """
+        observable = not self._server.heartbeats.in_blackout
+        observations = []
+        for name in sorted(self._managed):
+            managed = self._managed[name]
+            knob = tick_knobs.get(name)
+            if knob is None:
+                continue
+            running = name in result.breakdown.app_w
+            segment = self._segment_index(managed)
+            observations.append(
+                AppObservation(
+                    app=name,
+                    running=running,
+                    claimed_rate=self._server.heartbeats.exact_rate(name),
+                    attributed_w=result.breakdown.app_w.get(name, 0.0),
+                    expected_w=self._server.power_model.app_power_w(
+                        managed.profile, knob
+                    ),
+                    supported_rate=self._server.perf_model.rate(
+                        managed.profile, knob
+                    ),
+                    fingerprint=(
+                        knob.freq_ghz,
+                        knob.cores,
+                        knob.dram_power_w,
+                        running,
+                        -1 if segment is None else segment,
+                    ),
+                    observable=observable,
+                )
+            )
+        transitions = self._trust.observe(len(self._timeline) - 1, observations)
+        if not transitions:
+            return
+        trace_kind = {
+            TrustState.SUSPECT: "adv-suspect",
+            TrustState.QUARANTINED: "adv-quarantine",
+            TrustState.PROBATION: "adv-probation",
+            TrustState.TRUSTED: "adv-trusted",
+        }
+        for tr in transitions:
+            self._metrics.counter(f"defense.transitions.{tr.to_state.value}").inc()
+            self._trace.emit(
+                trace_kind[tr.to_state],
+                {
+                    "app": tr.app,
+                    "from": tr.from_state.value,
+                    "score": tr.score,
+                    "strikes": tr.strikes,
+                },
+            )
+            if tr.to_state is TrustState.QUARANTINED:
+                self._accountant.notify_fault(
+                    "trust",
+                    tr.app,
+                    detail=f"{tr.from_state.value} -> {tr.to_state.value}",
+                )
+        self._metrics.gauge("defense.quarantined_apps").set(
+            float(len(self._trust.quarantined_apps()))
+        )
+        # Only quarantine-machinery edges actuate a replan. A SUSPECT edge
+        # must not: replanning changes the suspect's knob, which restarts
+        # the efficiency-check cooldown - the defense's own actuation would
+        # keep resetting its evidence and an inflator would oscillate at
+        # SUSPECT forever. De-weighting of suspects still lands at the next
+        # replan any other cause triggers.
+        actuating = {TrustState.QUARANTINED, TrustState.PROBATION}
+        if self._managed and any(
+            tr.to_state in actuating or tr.from_state in actuating
+            for tr in transitions
+        ):
+            self.reallocate()
+
     def _handle_event(self, event: Event) -> None:
         if isinstance(event, DepartureEvent):
             handle = self._server.remove(event.app)
@@ -1138,6 +1324,8 @@ class PowerMediator:
             self._managed.pop(event.app, None)
             self._estimates.pop(event.app, None)
             self._oracle.pop(event.app, None)
+            self._adversary.forget(event.app)
+            self._trust.forget(event.app)
             if self._managed:
                 self.reallocate()
         elif isinstance(event, PhaseChangeEvent):
@@ -1203,9 +1391,16 @@ class PowerMediator:
                 return
             estimator = self._get_estimator()
             samples: dict[KnobSetting, tuple[float, float]] = {}
+            peak_power_w = float(np.max(oracle.power_w))
             for knob in self._sampler.select(config):
                 power = self._server.power_model.app_power_w(profile, knob)
                 perf = self._server.perf_model.rate(profile, knob)
+                # An inflating tenant lies to the calibration pipeline too:
+                # its sampled performance is distorted before measurement
+                # noise, so the learned candidate set overrates it.
+                perf = self._adversary.distort_calibration(
+                    app, self._server.now_s, power, perf, peak_power_w
+                )
                 if self._power_noise_std_w > 0:
                     power = max(
                         0.0, power + float(self._rng.normal(0.0, self._power_noise_std_w))

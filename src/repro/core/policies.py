@@ -70,6 +70,11 @@ class PolicyContext:
             performance averaged over the corpus); what Server+Res-Aware
             knows. ``None`` disables that policy.
         battery: The server's ESD, or ``None``.
+        trust_weights: Optional per-app utility multipliers in (0, 1] from
+            the mediator's TrustScorer - a distrusted tenant's performance
+            counts for less when dividing the budget. ``None`` (the default)
+            plans exactly as before defenses existed. The utility-blind
+            baselines ignore it: they cannot weigh what they do not measure.
     """
 
     config: ServerConfig
@@ -78,6 +83,7 @@ class PolicyContext:
     estimates: dict[str, CandidateSet]
     population: CandidateSet | None = None
     battery: LeadAcidBattery | None = None
+    trust_weights: dict[str, float] | None = None
 
     def __post_init__(self) -> None:
         if self.p_cap_w <= 0:
@@ -238,7 +244,10 @@ class Policy(abc.ABC):
             return self._idle_plan(ctx)
         floor = min(share_floor, 1.0 / len(runnable))
         shares = {name: floor for name in runnable}
-        best = max(runnable, key=lambda n: rel_perf.get(n, 0.0))
+        # De-weighted tenants still keep the fairness floor; they just stop
+        # winning the discretionary remainder of the rotation.
+        wts = ctx.trust_weights or {}
+        best = max(runnable, key=lambda n: rel_perf.get(n, 0.0) * wts.get(n, 1.0))
         shares[best] += 1.0 - floor * len(runnable)
         period = ctx.config.duty_cycle_period_s
         slots = tuple(
@@ -430,7 +439,9 @@ class AppAwarePolicy(Policy):
         path_sets = {
             name: _path_candidates(ctx.estimates[name], ctx.config) for name in ctx.apps
         }
-        allocation = self._allocator.allocate(path_sets, budget)
+        allocation = self._allocator.allocate(
+            path_sets, budget, weights=ctx.trust_weights
+        )
         if not allocation.excluded:
             knobs = {n: a.knob for n, a in allocation.apps.items()}
             return AllocationPlan(
@@ -473,7 +484,7 @@ class AppResAwarePolicy(Policy):
         if budget <= 0:
             return self._idle_plan(ctx)
         allocation = self._allocator.allocate(
-            {n: ctx.estimates[n] for n in ctx.apps}, budget
+            {n: ctx.estimates[n] for n in ctx.apps}, budget, weights=ctx.trust_weights
         )
         if not allocation.excluded:
             knobs = {n: a.knob for n, a in allocation.apps.items()}
@@ -518,7 +529,9 @@ class AppResEsdAwarePolicy(Policy):
         budget = ctx.dynamic_budget_w
         estimates = {n: ctx.estimates[n] for n in ctx.apps}
         if budget > 0:
-            allocation = self._allocator.allocate(estimates, budget)
+            allocation = self._allocator.allocate(
+                estimates, budget, weights=ctx.trust_weights
+            )
             if not allocation.excluded:
                 # Space coordination suffices; the battery stays idle (the
                 # paper: "the servers use the ESD only during periods of
@@ -541,7 +554,9 @@ class AppResEsdAwarePolicy(Policy):
         )
         if relaxed <= 0 or ctx.p_cap_w <= cfg.p_idle_w:
             return self._idle_plan(ctx)
-        allocation = self._allocator.allocate(estimates, relaxed)
+        allocation = self._allocator.allocate(
+            estimates, relaxed, weights=ctx.trust_weights
+        )
         included = allocation.included
         if not included:
             return self._idle_plan(ctx)

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.adversary.plan import AdversarySchedule
+from repro.core.trust import DefenseConfig
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.mediator import PowerMediator
 from repro.core.policies import Policy, make_policy
@@ -133,6 +135,8 @@ def run_mix_experiment(
     faults: FaultPlan | None = None,
     resilience: ResilienceConfig | None = None,
     trace_bus: TraceBus | None = None,
+    adversaries: AdversarySchedule | None = None,
+    defense: DefenseConfig | None = None,
 ) -> MixExperimentResult:
     """Run one co-location under one policy and cap.
 
@@ -155,6 +159,9 @@ def run_mix_experiment(
         resilience: Degraded-mode tunables.
         trace_bus: Optional observability sink; same seed and arguments
             produce a byte-identical event stream on it.
+        adversaries: Optional strategic-tenant schedule; named apps behave
+            adversarially (see :mod:`repro.adversary.plan`).
+        defense: TrustScorer tunables (defenses default on).
 
     Raises:
         ConfigurationError: for an empty app list.
@@ -177,6 +184,8 @@ def run_mix_experiment(
         faults=faults,
         resilience=resilience,
         trace_bus=trace_bus,
+        adversaries=adversaries,
+        defense=defense,
     )
     for profile in apps:
         # Steady-state runs must not see departures; give everyone ample work.

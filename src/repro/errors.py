@@ -154,6 +154,18 @@ class NetworkError(ReproError):
     """
 
 
+class AdversaryError(ReproError):
+    """An adversary schedule or strategic-workload operation was invalid.
+
+    Examples: an attack spec with an unknown kind, a non-positive magnitude,
+    a probe whose burst is longer than its period, or registering an attack
+    for an application twice. Note that *executed* attacks never raise - they
+    degrade honest tenants until the defenses quarantine them; this exception
+    covers misuse of the attack machinery itself. The message is a single
+    line suitable for verbatim CLI display.
+    """
+
+
 class ChaosError(ReproError):
     """A chaos-soak run violated a recovery invariant.
 

@@ -120,8 +120,13 @@ class GoldenOutcome:
         return max(sorted(self.modes), key=lambda m: self.modes[m])
 
 
-def run_spec(spec: GoldenSpec) -> GoldenOutcome:
-    """Replay one golden spec, verify its trace, and report the outcome."""
+def run_spec(spec: GoldenSpec, *, defense=None) -> GoldenOutcome:
+    """Replay one golden spec, verify its trace, and report the outcome.
+
+    ``defense`` forwards a :class:`repro.core.trust.DefenseConfig`; the
+    recorded hashes must be invariant to it on these all-honest runs (the
+    trust layer is a pure observer until someone misbehaves).
+    """
     # Imported lazily: golden specs sit below the simulation stack, and the
     # simulation stack imports this package.
     from repro.core.simulation import run_mix_experiment
@@ -138,6 +143,7 @@ def run_spec(spec: GoldenSpec) -> GoldenOutcome:
         use_oracle_estimates=spec.use_oracle_estimates,
         seed=spec.seed,
         trace_bus=bus,
+        defense=defense,
     )
     verify_trace(bus.events)
     summary = summarize_trace(bus.events)

@@ -40,6 +40,7 @@ from repro.schema import Validator
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "CONTROL_PLANE_KINDS",
+    "ADVERSARY_KINDS",
     "TraceEvent",
     "TraceBus",
     "NullTraceBus",
@@ -91,11 +92,20 @@ SIM_KINDS = frozenset(
         "ingest-reject",  # backpressure NACKed a new arrival at the door
         "overload-enter",  # ingest occupancy crossed the overload watermark
         "overload-exit",  # ingest occupancy fell back below the watermark
+        "adv-attack-start",  # an adversary spec's attack window opened
+        "adv-attack-stop",  # an attack window closed (or the attacker left)
+        "adv-suspect",  # the TrustScorer moved an app to SUSPECT
+        "adv-quarantine",  # an app was quarantined (suspended + excluded)
+        "adv-probation",  # a quarantine expired into PROBATION
+        "adv-trusted",  # an app regained full trust
     }
 )
 
 #: Control-plane event kinds (the ``cp-`` prefix), for display grouping.
 CONTROL_PLANE_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("cp-"))
+
+#: Adversary/defense event kinds (the ``adv-`` prefix), for display grouping.
+ADVERSARY_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("adv-"))
 
 META_KINDS = frozenset({"trace-header", "checkpoint", "crash", "restore", "replayed"})
 
@@ -338,7 +348,12 @@ def read_trace(path: str | os.PathLike) -> list[TraceEvent]:
     return events
 
 
-def verify_trace(events: list[TraceEvent], cap_tolerance_w: float = 1e-6) -> dict[str, int]:
+def verify_trace(
+    events: list[TraceEvent],
+    cap_tolerance_w: float = 1e-6,
+    *,
+    strict_kinds: bool = True,
+) -> dict[str, int]:
     """Check run invariants on a trace; raises :class:`TraceError` on violation.
 
     The checks are exactly the ones a stitched (crash-restart) trace must
@@ -346,6 +361,10 @@ def verify_trace(events: list[TraceEvent], cap_tolerance_w: float = 1e-6) -> dic
     non-decreasing tick cursor, one consecutive ``tick`` event per tick
     with non-decreasing sim time, wall power within the recorded cap unless
     the event is breach-flagged, and battery state of charge in [0, 1].
+
+    With ``strict_kinds=False`` unknown event kinds are tolerated (counted
+    in the returned ``unknown_kinds``) instead of raising - a newer writer's
+    trace should still verify its structural invariants on an older reader.
     """
     if not events:
         raise TraceError("trace is empty")
@@ -361,9 +380,12 @@ def verify_trace(events: list[TraceEvent], cap_tolerance_w: float = 1e-6) -> dic
     last_tick_event: TraceEvent | None = None
     breach_ticks = 0
     tick_events = 0
+    unknown_kinds = 0
     for event in events:
         if event.kind not in SIM_KINDS and event.kind not in META_KINDS:
-            raise TraceError(f"seq {event.seq}: unknown event kind {event.kind!r}")
+            if strict_kinds:
+                raise TraceError(f"seq {event.seq}: unknown event kind {event.kind!r}")
+            unknown_kinds += 1
         if event.is_meta:
             continue
         if event.seq != next_seq:
@@ -404,13 +426,25 @@ def verify_trace(events: list[TraceEvent], cap_tolerance_w: float = 1e-6) -> dic
             soc = event.payload.get("soc")
             if isinstance(soc, (int, float)) and not -1e-9 <= soc <= 1.0 + 1e-9:
                 raise TraceError(f"seq {event.seq}: state of charge {soc} outside [0, 1]")
-    return {"events": len(events), "sim_events": next_seq, "ticks": tick_events, "breach_ticks": breach_ticks}
+    return {
+        "events": len(events),
+        "sim_events": next_seq,
+        "ticks": tick_events,
+        "breach_ticks": breach_ticks,
+        "unknown_kinds": unknown_kinds,
+    }
 
 
 def summarize_trace(events: list[TraceEvent]) -> dict[str, Any]:
-    """Aggregate a trace for display: kind counts, mode residency, span, hash."""
+    """Aggregate a trace for display: kind counts, mode residency, span, hash.
+
+    Kinds outside the known sim/meta sets are still counted in ``kinds``
+    and tallied under ``other`` - summarization must never crash on a trace
+    written by a newer schema.
+    """
     kinds: dict[str, int] = {}
     modes: dict[str, int] = {}
+    other = 0
     ticks = 0
     first_tick: int | None = None
     last_tick: int | None = None
@@ -420,6 +454,8 @@ def summarize_trace(events: list[TraceEvent]) -> dict[str, Any]:
     meta_events = 0
     for event in events:
         kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if event.kind not in SIM_KINDS and event.kind not in META_KINDS:
+            other += 1
         if event.is_meta:
             meta_events += 1
             if event.kind == "restore":
@@ -445,6 +481,7 @@ def summarize_trace(events: list[TraceEvent]) -> dict[str, Any]:
         "duration_s": (last_time - first_time) if ticks else 0.0,
         "kinds": dict(sorted(kinds.items())),
         "modes": dict(sorted(modes.items())),
+        "other": other,
         "restarts": restarts,
         "hash": trace_hash(events),
     }

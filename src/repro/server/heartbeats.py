@@ -14,6 +14,7 @@ must be exercised against imperfect observations.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 
@@ -63,6 +64,7 @@ class HeartbeatMonitor:
         self._totals: dict[str, float] = {}
         self._blackout = False
         self._frozen_rates: dict[str, float] = {}
+        self._last_emit_s: dict[str, float] = {}
 
     @property
     def window_s(self) -> float:
@@ -85,6 +87,7 @@ class HeartbeatMonitor:
         del self._histories[app]
         del self._totals[app]
         self._frozen_rates.pop(app, None)
+        self._last_emit_s.pop(app, None)
 
     def registered(self) -> list[str]:
         """Currently tracked application names, sorted."""
@@ -102,6 +105,7 @@ class HeartbeatMonitor:
             "totals": dict(self._totals),
             "blackout": self._blackout,
             "frozen_rates": dict(self._frozen_rates),
+            "last_emit_s": dict(self._last_emit_s),
             "rng": self._rng.bit_generator.state,
         }
 
@@ -122,6 +126,14 @@ class HeartbeatMonitor:
         self._frozen_rates = {
             app: float(v) for app, v in state["frozen_rates"].items()
         }
+        # Pre-hardening checkpoints lack emission clocks: reconstruct them
+        # from the windows so duplicate-tick detection survives a restore.
+        self._last_emit_s = {
+            app: float(v) for app, v in state.get("last_emit_s", {}).items()
+        }
+        for app, history in self._histories.items():
+            if history and app not in self._last_emit_s:
+                self._last_emit_s[app] = history[-1].time_s
         self._rng.bit_generator.state = state["rng"]
 
     # ----------------------------------------------------------- engine side
@@ -132,10 +144,28 @@ class HeartbeatMonitor:
         Zero-beat ticks are recorded too - a suspended application's heart
         rate must decay to zero, which only happens if the window sees its
         silence.
+
+        Raises:
+            ConfigurationError: for NaN/non-finite/negative beat counts, a
+                non-finite timestamp, or a report at or before the app's
+                previous emission time (a duplicate-tick report would
+                double-count progress silently; rejecting it makes the
+                corruption loud).
         """
+        if not math.isfinite(beats):
+            raise ConfigurationError(f"non-finite heartbeat count {beats}")
         if beats < 0:
             raise ConfigurationError(f"negative heartbeat count {beats}")
+        if not math.isfinite(time_s):
+            raise ConfigurationError(f"non-finite heartbeat timestamp {time_s}")
         history = self._history_of(app)
+        last = self._last_emit_s.get(app)
+        if last is not None and time_s <= last:
+            raise ConfigurationError(
+                f"duplicate heartbeat report for {app!r} at {time_s} s "
+                f"(already reported through {last} s)"
+            )
+        self._last_emit_s[app] = time_s
         history.append(HeartbeatRecord(time_s=time_s, beats=beats))
         self._totals[app] += beats
         cutoff = time_s - self._window_s
@@ -178,12 +208,28 @@ class HeartbeatMonitor:
             return self._frozen_rates.get(app, 0.0)
         return self._fresh_rate(app)
 
-    def _fresh_rate(self, app: str) -> float:
+    def exact_rate(self, app: str) -> float:
+        """The windowed rate without measurement noise; draws no RNG.
+
+        Monitoring-side cross-checks (the mediator's TrustScorer) use this
+        so that enabling defenses never perturbs the noise stream a run
+        with defenses disabled would consume. Blackout semantics match
+        :meth:`heart_rate`.
+        """
+        self._history_of(app)
+        if self._blackout:
+            return self._frozen_rates.get(app, 0.0)
+        return self._window_rate(app)
+
+    def _window_rate(self, app: str) -> float:
         history = self._history_of(app)
         if not history:
             return 0.0
         span = max(self._window_s, history[-1].time_s - history[0].time_s)
-        rate = sum(record.beats for record in history) / span
+        return sum(record.beats for record in history) / span
+
+    def _fresh_rate(self, app: str) -> float:
+        rate = self._window_rate(app)
         if self._noise == 0.0 or rate == 0.0:
             return rate
         return max(0.0, rate * (1.0 + float(self._rng.normal(0.0, self._noise))))

@@ -22,6 +22,7 @@ suspended application.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
@@ -128,6 +129,11 @@ class SimulatedServer:
         self._knobs = KnobController(config, self._topology, self._rapl)
         self._handles: dict[str, ApplicationHandle] = {}
         self._now_s = 0.0
+        # Strategic-tenant hooks (repro.adversary): extra watts a tenant's
+        # parasitic threads burn while it runs, and the factor by which it
+        # over-reports heartbeat progress. Empty for honest populations.
+        self._parasitic_w: dict[str, float] = {}
+        self._hb_inflation: dict[str, float] = {}
 
     # ------------------------------------------------------------ accessors
 
@@ -198,6 +204,8 @@ class SimulatedServer:
             "heartbeats": self._heartbeats.state_dict(),
             "sleep": self._sleep.state_dict(),
             "knobs": self._knobs.state_dict(),
+            "parasitic_w": dict(self._parasitic_w),
+            "hb_inflation": dict(self._hb_inflation),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -229,6 +237,13 @@ class SimulatedServer:
         self._heartbeats.load_state_dict(state["heartbeats"])
         self._sleep.load_state_dict(state["sleep"])
         self._knobs.load_state_dict(state["knobs"])
+        # Pre-adversary checkpoints lack these keys: default to honest.
+        self._parasitic_w = {
+            k: float(v) for k, v in state.get("parasitic_w", {}).items()
+        }
+        self._hb_inflation = {
+            k: float(v) for k, v in state.get("hb_inflation", {}).items()
+        }
 
     # ------------------------------------------------------------ lifecycle
 
@@ -292,6 +307,8 @@ class SimulatedServer:
         self._heartbeats.unregister(app)
         self._topology.release(app)
         del self._handles[app]
+        self._parasitic_w.pop(app, None)
+        self._hb_inflation.pop(app, None)
         return handle
 
     def handle_of(self, app: str) -> ApplicationHandle:
@@ -336,6 +353,62 @@ class SimulatedServer:
             handle.resume_debt_s += self._config.resume_penalty_s
             handle.resumes += 1
         self._knobs.resume(app)
+
+    # ------------------------------------------------------ adversary hooks
+
+    def set_parasitic_power_w(self, app: str, watts: float) -> None:
+        """Declare extra watts ``app`` burns beyond its knob-implied draw.
+
+        This is the substrate of contention-probe / power-spike / free-ride
+        attacks: the tenant spins parasitic threads the mediator never
+        allocated. The draw shows up in the tick's power breakdown (and so
+        in RAPL and the wall meter) attributed to ``app``, but only while
+        the app actually executes - a suspended process burns nothing.
+        Setting 0 restores honesty. Idempotent.
+
+        Raises:
+            ConfigurationError: negative or non-finite watts.
+            SchedulingError: app not admitted.
+        """
+        if not math.isfinite(watts) or watts < 0.0:
+            raise ConfigurationError(
+                f"parasitic power must be finite and non-negative, got {watts}"
+            )
+        self.handle_of(app)
+        if watts == 0.0:
+            self._parasitic_w.pop(app, None)
+        else:
+            self._parasitic_w[app] = watts
+
+    def set_heartbeat_inflation(self, app: str, factor: float) -> None:
+        """Scale the heartbeat progress ``app`` reports by ``factor``.
+
+        A factor above 1 is the heartbeat-inflation attack: the app claims
+        more progress than its power draw supports. True work accounting
+        (``handle.work_done``, completion) is untouched - only the *report*
+        lies. Setting 1.0 restores honesty. Idempotent.
+
+        Raises:
+            ConfigurationError: non-finite or negative factor.
+            SchedulingError: app not admitted.
+        """
+        if not math.isfinite(factor) or factor < 0.0:
+            raise ConfigurationError(
+                f"heartbeat inflation factor must be finite and non-negative, got {factor}"
+            )
+        self.handle_of(app)
+        if factor == 1.0:
+            self._hb_inflation.pop(app, None)
+        else:
+            self._hb_inflation[app] = factor
+
+    def parasitic_power_of(self, app: str) -> float:
+        """Current parasitic draw declared for ``app`` (0 when honest)."""
+        return self._parasitic_w.get(app, 0.0)
+
+    def heartbeat_inflation_of(self, app: str) -> float:
+        """Current heartbeat inflation factor for ``app`` (1 when honest)."""
+        return self._hb_inflation.get(app, 1.0)
 
     # -------------------------------------------------------------- the tick
 
@@ -383,6 +456,25 @@ class SimulatedServer:
             esd_discharge_w=esd_discharge_w,
             deep_sleep=deep_sleep and not active,
         )
+        # Parasitic threads burn real power on top of the knob-implied draw.
+        # They are attributed to their owner, so the wall meter, RAPL and
+        # per-app attribution all see the true (inflated) consumption.
+        parasites = {
+            name: self._parasitic_w[name]
+            for name in running
+            if self._parasitic_w.get(name, 0.0) > 0.0
+        }
+        if parasites:
+            app_w = dict(breakdown.app_w)
+            for name, extra in parasites.items():
+                app_w[name] = app_w.get(name, 0.0) + extra
+            breakdown = PowerBreakdown(
+                idle_w=breakdown.idle_w,
+                cm_w=breakdown.cm_w,
+                app_w=app_w,
+                esd_charge_w=breakdown.esd_charge_w,
+                esd_discharge_w=breakdown.esd_discharge_w,
+            )
 
         end_time = self._now_s + dt_s
         progressed: dict[str, float] = {}
@@ -407,9 +499,15 @@ class SimulatedServer:
                 self._knobs.suspend(name)
 
         # Heartbeats: every registered app emits (zero when not progressing),
-        # so windowed rates decay naturally during OFF periods.
+        # so windowed rates decay naturally during OFF periods. An inflating
+        # tenant scales its *report* here; true work accounting above is
+        # untouched.
         for name in self._handles:
-            self._heartbeats.emit(name, end_time, progressed.get(name, 0.0))
+            beats = progressed.get(name, 0.0)
+            factor = self._hb_inflation.get(name)
+            if factor is not None:
+                beats *= factor
+            self._heartbeats.emit(name, end_time, beats)
 
         self._rapl.advance(self._domain_powers(running, breakdown), dt_s)
         self._sleep.advance(dt_s)
@@ -464,6 +562,8 @@ class SimulatedServer:
                     continue
                 profile, knob = running[name]
                 pkg += self._config.p_app_floor_w + self._power.core_power_w(profile, knob)
+                # Parasitic threads live on the owner's cores: package domain.
+                pkg += self._parasitic_w.get(name, 0.0)
                 dram += self._power.dram_power_w(profile, knob)
             powers[f"package-{s}"] = pkg
             powers[f"dram-{s}"] = dram

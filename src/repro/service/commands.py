@@ -22,7 +22,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError, ServiceError
+from repro.adversary.plan import AdversarySpec
+from repro.errors import AdversaryError, ConfigurationError, ServiceError
 from repro.workloads.profiles import WorkloadProfile
 
 __all__ = [
@@ -45,14 +46,34 @@ def _check_client(client: int, client_seq: int) -> None:
 
 @dataclass(frozen=True)
 class SubmitJob:
-    """A client's request to run one application on the mediated server."""
+    """A client's request to run one application on the mediated server.
+
+    ``adversary`` is the *simulation's* declaration that this client
+    behaves strategically (an :class:`~repro.adversary.plan.AdversarySpec`
+    as a dict, targeting this job's app). The mediator's defenses never
+    read it - they must catch the behaviour from telemetry alone.
+    """
 
     client: int
     client_seq: int
     profile: WorkloadProfile
+    adversary: dict | None = None
 
     def __post_init__(self) -> None:
         _check_client(self.client, self.client_seq)
+        if self.adversary is not None:
+            spec = AdversarySpec.from_dict(self.adversary, where="submit.adversary")
+            if spec.app != self.profile.name:
+                raise AdversaryError(
+                    f"submit.adversary targets {spec.app!r} but the job "
+                    f"submits {self.profile.name!r}"
+                )
+
+    def adversary_spec(self) -> AdversarySpec | None:
+        """The validated spec, or ``None`` for an honest client."""
+        if self.adversary is None:
+            return None
+        return AdversarySpec.from_dict(self.adversary, where="submit.adversary")
 
 
 @dataclass(frozen=True)
@@ -101,12 +122,15 @@ def command_to_dict(command: Command) -> dict:
     """Serialize for the write-ahead journal (inverse of
     :func:`command_from_dict`)."""
     if isinstance(command, SubmitJob):
-        return {
+        doc = {
             "kind": "submit",
             "client": command.client,
             "client_seq": command.client_seq,
             "profile": command.profile.to_dict(),
         }
+        if command.adversary is not None:
+            doc["adversary"] = dict(command.adversary)
+        return doc
     if isinstance(command, CancelJob):
         return {
             "kind": "cancel",
@@ -137,6 +161,7 @@ def command_from_dict(data: dict) -> Command:
             client=int(data["client"]),
             client_seq=int(data["client_seq"]),
             profile=WorkloadProfile.from_dict(data["profile"]),
+            adversary=data.get("adversary"),
         )
     if kind == "cancel":
         return CancelJob(

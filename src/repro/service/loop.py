@@ -557,6 +557,12 @@ class MediatorService:
             )
         else:
             self.metrics.counter("service.admit.admitted").inc()
+            spec = command.adversary_spec()
+            if spec is not None:
+                # Idempotent for an identical spec, so journal replay can
+                # re-drive the admission without tripping it.
+                self._mediator.register_adversary(spec)
+                self.metrics.counter("service.admit.adversarial").inc()
             self._outstanding[command.profile.name] = command.client
             self._sessions.deliver(
                 command.client,

@@ -140,3 +140,70 @@ class TestAccounting:
             assert record.power_w == 0.0
             assert record.relative_perf == 0.0
             assert allocation.share_of(name) == 0.0
+
+
+class TestWeights:
+    """The TrustScorer's allocation de-weighting path."""
+
+    @pytest.mark.parametrize(
+        "bad", [0.0, -1.0, float("nan"), float("inf")]
+    )
+    def test_invalid_weight_rejected(self, csets, bad):
+        allocator = PowerAllocator()
+        with pytest.raises(ConfigurationError, match="must be positive and finite"):
+            allocator.allocate(
+                pair(csets, "stream", "kmeans"), 30.0, weights={"stream": bad}
+            )
+        with pytest.raises(ConfigurationError, match="must be positive and finite"):
+            allocator.allocate_fair(
+                pair(csets, "stream", "kmeans"), 30.0, weights={"stream": bad}
+            )
+
+    def test_all_ones_weights_are_a_perfect_noop(self, csets):
+        """Golden traces pin defense-on == defense-off for honest tenants:
+        trivial weights must not even enter the weighted code path."""
+        allocator = PowerAllocator()
+        plain = allocator.allocate(pair(csets, "stream", "kmeans"), 30.0)
+        ones = allocator.allocate(
+            pair(csets, "stream", "kmeans"), 30.0,
+            weights={"stream": 1.0, "kmeans": 1.0},
+        )
+        assert ones == plain
+
+    def test_missing_apps_default_to_weight_one(self, csets):
+        allocator = PowerAllocator()
+        plain = allocator.allocate(pair(csets, "stream", "kmeans"), 30.0)
+        partial = allocator.allocate(
+            pair(csets, "stream", "kmeans"), 30.0, weights={"ghost": 0.5}
+        )
+        assert partial == plain
+
+    def test_deweighted_app_loses_budget(self, csets):
+        allocator = PowerAllocator()
+        plain = allocator.allocate(pair(csets, "stream", "kmeans"), 26.0)
+        tilted = allocator.allocate(
+            pair(csets, "stream", "kmeans"), 26.0, weights={"stream": 0.05}
+        )
+        assert tilted.apps["stream"].power_w <= plain.apps["stream"].power_w
+        assert tilted.apps["kmeans"].power_w >= plain.apps["kmeans"].power_w
+        assert tilted.apps["kmeans"].relative_perf >= plain.apps["kmeans"].relative_perf
+
+    def test_fair_objective_reported_in_weighted_units(self, csets):
+        """allocate() compares the knapsack against the fair floor by
+        objective; both must be in the same (weighted) units."""
+        allocator = PowerAllocator()
+        weights = {"stream": 0.25, "kmeans": 1.0}
+        plain = allocator.allocate_fair(pair(csets, "stream", "kmeans"), 30.0)
+        weighted = allocator.allocate_fair(
+            pair(csets, "stream", "kmeans"), 30.0, weights=weights
+        )
+        # Per-app knob choices are weight-independent ...
+        for app in ("stream", "kmeans"):
+            assert weighted.apps[app] == plain.apps[app]
+        # ... but the reported objective is scaled.
+        expected = sum(
+            weights[a.app] * a.relative_perf
+            for a in plain.apps.values()
+            if not a.excluded
+        )
+        assert weighted.objective == pytest.approx(expected, abs=1e-9)

@@ -42,6 +42,17 @@ def test_golden_trace_replays_to_recorded_hash(spec: GoldenSpec):
     assert outcome.modes == spec.modes
 
 
+def test_golden_hashes_are_invariant_to_the_defense_layer():
+    """The recorded hashes predate the TrustScorer; an honest run must hash
+    identically whether the defenses are armed (the default) or disabled -
+    the trust layer may only observe until someone misbehaves."""
+    from repro.core.trust import DefenseConfig
+
+    spec = SPECS[0]
+    disarmed = run_spec(spec, defense=DefenseConfig(enabled=False))
+    assert disarmed.trace_hash == spec.trace_hash
+
+
 def test_specs_round_trip_through_save(tmp_path):
     path = tmp_path / "golden.json"
     save_specs(path, SPECS)

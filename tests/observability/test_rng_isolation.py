@@ -11,6 +11,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.adversary.plan import default_adversary_schedule
 from repro.core.simulation import run_mix_experiment
 from repro.workloads.mixes import get_mix
 
@@ -76,3 +77,42 @@ class TestRuntimeAudit:
         )
         assert random.getstate() == stdlib_before
         assert pickle.dumps(np.random.get_state()) == numpy_before
+
+    def test_adversarial_run_leaves_global_rng_state_untouched(self):
+        """The attack-jitter streams are seeded generator objects too."""
+        random.seed(1234)
+        np.random.seed(5678)
+        stdlib_before = random.getstate()
+        numpy_before = pickle.dumps(np.random.get_state())
+        run_mix_experiment(
+            list(get_mix(1).profiles()),
+            "app+res-aware",
+            108.0,
+            mix_id=1,
+            duration_s=4.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+            seed=0,
+            adversaries=default_adversary_schedule("stream", kind="probe",
+                                                   start_s=1.0),
+        )
+        assert random.getstate() == stdlib_before
+        assert pickle.dumps(np.random.get_state()) == numpy_before
+
+    def test_dormant_adversary_never_perturbs_honest_streams(self):
+        """An attack window that never opens must not consume a single draw
+        from any honest RNG stream: the timelines are bit-identical."""
+        kwargs = dict(mix_id=1, duration_s=4.0, warmup_s=2.0,
+                      use_oracle_estimates=True, seed=0)
+        apps = list(get_mix(1).profiles())
+        clean = run_mix_experiment(apps, "app+res-aware", 108.0, **kwargs)
+        dormant = run_mix_experiment(
+            apps, "app+res-aware", 108.0,
+            adversaries=default_adversary_schedule(
+                "stream", kind="spike", start_s=10_000.0
+            ),
+            **kwargs,
+        )
+        assert dormant.normalized_throughput == clean.normalized_throughput
+        assert dormant.power_share == clean.power_share
+        assert dormant.mean_wall_power_w == clean.mean_wall_power_w

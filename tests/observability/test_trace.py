@@ -205,6 +205,39 @@ class TestVerifyTrace:
             verify_trace(bus.events)
 
 
+class TestAdversaryKinds:
+    def test_adv_events_emit_and_verify(self):
+        bus = _bus_with_ticks(2)
+        bus.emit("adv-attack-start", {"app": "stream", "attack": "probe"})
+        bus.emit("adv-quarantine", {"app": "stream", "score": 4.2})
+        bus.emit("adv-attack-stop", {"app": "stream", "attack": "probe"})
+        checks = verify_trace(bus.events)
+        assert checks["sim_events"] == 5
+        assert checks["unknown_kinds"] == 0
+        summary = summarize_trace(bus.events)
+        assert summary["kinds"]["adv-quarantine"] == 1
+        assert summary["other"] == 0
+
+    def test_unknown_kind_tolerated_when_lenient(self):
+        """A newer writer's trace must remain readable: lenient verification
+        counts foreign kinds instead of raising, and the summary buckets
+        them under ``other``."""
+        bus = _bus_with_ticks(3)
+        events = list(bus.events)
+        alien = TraceEvent(
+            seq=events[-1].seq + 1, tick=3, time_s=0.3,
+            kind="adv-exfiltrate", payload={"app": "x"},
+        )
+        events.append(alien)
+        with pytest.raises(TraceError, match="unknown event kind"):
+            verify_trace(events)
+        checks = verify_trace(events, strict_kinds=False)
+        assert checks["unknown_kinds"] == 1
+        summary = summarize_trace(events)
+        assert summary["other"] == 1
+        assert summary["kinds"]["adv-exfiltrate"] == 1  # still enumerated
+
+
 class TestSummarize:
     def test_summary_counts_and_modes(self):
         bus = _bus_with_ticks(6)

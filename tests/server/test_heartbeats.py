@@ -68,6 +68,43 @@ class TestRates:
             monitor.emit("a", 0.1, -1.0)
 
 
+class TestEmitValidation:
+    """A lying or corrupted reporter must fail loudly, never skew a rate."""
+
+    @pytest.mark.parametrize("beats", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_beats_rejected(self, monitor, beats):
+        monitor.register("a")
+        with pytest.raises(ConfigurationError, match="non-finite heartbeat count"):
+            monitor.emit("a", 0.1, beats)
+
+    @pytest.mark.parametrize("time_s", [float("nan"), float("inf")])
+    def test_non_finite_timestamp_rejected(self, monitor, time_s):
+        monitor.register("a")
+        with pytest.raises(ConfigurationError, match="non-finite heartbeat timestamp"):
+            monitor.emit("a", time_s, 1.0)
+
+    def test_duplicate_tick_report_rejected(self, monitor):
+        monitor.register("a")
+        monitor.emit("a", 0.1, 1.0)
+        with pytest.raises(ConfigurationError, match="duplicate heartbeat report"):
+            monitor.emit("a", 0.1, 1.0)  # would double-count silently
+
+    def test_time_travel_rejected(self, monitor):
+        monitor.register("a")
+        monitor.emit("a", 0.2, 1.0)
+        with pytest.raises(ConfigurationError, match="already reported through"):
+            monitor.emit("a", 0.1, 1.0)
+
+    def test_rejected_report_leaves_totals_untouched(self, monitor):
+        monitor.register("a")
+        monitor.emit("a", 0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.emit("a", 0.1, float("nan"))
+        assert monitor.total_beats("a") == pytest.approx(1.0)
+        monitor.emit("a", 0.2, 1.0)  # the stream recovers after the reject
+        assert monitor.total_beats("a") == pytest.approx(2.0)
+
+
 class TestNoise:
     def test_noise_is_seeded_and_nonnegative(self):
         a = HeartbeatMonitor(noise_relative_std=0.1, seed=3)

@@ -367,3 +367,86 @@ class TestObservabilityFlags:
         assert code == 0
         assert "trace-stitched" in out
         assert (tmp_path / "soak.json").exists()
+
+
+class TestAdversary:
+    def test_adversary_single_kind(self, capsys):
+        code = main(["adversary", "--kind", "probe", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary defense:" in out
+        assert "probe" in out
+        assert "false-positive rate 0%" in out
+
+    def test_adversary_metrics_out(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "adv-metrics.json"
+        code = main(
+            ["adversary", "--kind", "spike", "--no-undefended",
+             "--metrics-out", str(metrics_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "defense delta" in out and "n/a" in out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["defense.transitions.quarantined"] >= 1
+
+    def test_adversary_unknown_mix_exits_2(self, capsys):
+        code = main(["adversary", "--kind", "probe", "--mix", "99"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_adversary_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adversary", "--kind", "ddos"])
+
+    def test_trace_summarize_groups_adversary_events(self, capsys, tmp_path):
+        from repro.adversary.plan import default_adversary_schedule
+        from repro.core.simulation import run_mix_experiment
+        from repro.observability.trace import TraceBus, write_trace
+        from repro.workloads.mixes import get_mix
+
+        bus = TraceBus()
+        run_mix_experiment(
+            list(get_mix(1).profiles()),
+            "app+res-aware",
+            108.0,
+            mix_id=1,
+            duration_s=6.0,
+            warmup_s=2.0,
+            use_oracle_estimates=True,
+            seed=0,
+            trace_bus=bus,
+            adversaries=default_adversary_schedule("stream", kind="probe",
+                                                   start_s=2.0),
+        )
+        path = tmp_path / "adv.jsonl"
+        write_trace(str(path), bus.events)
+        code = main(["trace", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "adversary/defense:" in out
+        assert "attack-start=1" in out
+        assert "quarantine=" in out
+
+    def test_trace_summarize_tolerates_unknown_kinds(self, capsys, tmp_path):
+        from repro.observability.trace import TraceBus, TraceEvent, write_trace
+
+        bus = TraceBus()
+        bus.begin_tick(0, 0.0)
+        bus.emit("tick", {"time_s": 0.0, "cap_w": 100.0, "wall_w": 50.0,
+                          "mode": "space", "soc": None})
+        events = list(bus.events)
+        events.append(
+            TraceEvent(seq=1, tick=0, time_s=0.0, kind="from-the-future",
+                       payload={})
+        )
+        path = tmp_path / "future.jsonl"
+        write_trace(str(path), events)
+        code = main(["trace", "summarize", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "other: 1 events of unrecognized kinds" in out
