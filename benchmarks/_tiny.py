@@ -1,0 +1,30 @@
+"""Tiny-mode switch for the benchmark suite.
+
+The tier-1 smoke test (``tests/test_benchmarks_smoke.py``) runs every
+benchmark with ``REPRO_BENCH_TINY=1`` so bit-rot is caught by pytest at a
+cost of seconds, not discovered at bench time. Under tiny mode each
+benchmark shrinks its scale knobs (servers, ticks, sweep points) to the
+smallest shape that still exercises the full code path; the *numbers* it
+prints are then meaningless, which is fine - the smoke test only asserts
+the benchmarks run.
+
+Usage::
+
+    from benchmarks._tiny import pick
+
+    DURATION_S = pick(30.0, 2.0)   # full scale, tiny scale
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def tiny() -> bool:
+    """Whether tiny mode is on (checked at import time by each benchmark)."""
+    return os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+
+def pick(full, small):
+    """``full`` normally; ``small`` under ``REPRO_BENCH_TINY=1``."""
+    return small if tiny() else full

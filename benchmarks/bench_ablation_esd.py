@@ -9,6 +9,7 @@ discharge-power limit (caps how far above the wall the ON phase can burst).
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import run_mix_experiment
 from repro.esd.battery import LeadAcidBattery
@@ -17,6 +18,8 @@ from repro.workloads.mixes import get_mix
 
 CAP_W = 80.0
 MIX_ID = 10
+DURATION_S = pick(60.0, 2.0)
+WARMUP_S = pick(20.0, 0.5)
 
 
 def run_with_battery(config, sink=None, **battery_kwargs):
@@ -34,8 +37,8 @@ def run_with_battery(config, sink=None, **battery_kwargs):
         CAP_W,
         mix_id=MIX_ID,
         config=config,
-        duration_s=60.0,
-        warmup_s=20.0,
+        duration_s=DURATION_S,
+        warmup_s=WARMUP_S,
         battery=LeadAcidBattery(**params),
         use_oracle_estimates=True,
     )
@@ -69,9 +72,10 @@ def test_ablation_esd_efficiency(benchmark, config, emit, bench_metrics):
         "Lead-Acid (~70%) gives the paper's 60-40 OFF-ON split; better "
         "chemistries shift the split and the throughput accordingly."
     )
-    # Throughput must be monotone in efficiency (Eq. 5).
-    values = [throughputs[e] for e in (0.5, 0.7, 0.9, 1.0)]
-    assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))
+    if not tiny():
+        # Throughput must be monotone in efficiency (Eq. 5).
+        values = [throughputs[e] for e in (0.5, 0.7, 0.9, 1.0)]
+        assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))
 
 
 def test_ablation_esd_discharge_limit(benchmark, config, emit, bench_metrics):
@@ -92,7 +96,8 @@ def test_ablation_esd_discharge_limit(benchmark, config, emit, bench_metrics):
         "(~40 W at this cap), so the allocator must shrink the ON-phase "
         "knobs - or the scheme degenerates toward plain duty cycling."
     )
-    assert throughputs[60.0] >= throughputs[20.0] - 0.02
+    if not tiny():
+        assert throughputs[60.0] >= throughputs[20.0] - 0.02
 
 
 def test_ablation_battery_chemistry(benchmark, config, emit, bench_metrics):
@@ -108,8 +113,8 @@ def test_ablation_battery_chemistry(benchmark, config, emit, bench_metrics):
             CAP_W,
             mix_id=MIX_ID,
             config=config,
-            duration_s=60.0,
-            warmup_s=20.0,
+            duration_s=DURATION_S,
+            warmup_s=WARMUP_S,
             battery=make_battery(preset),
             use_oracle_estimates=True,
         )
@@ -134,8 +139,9 @@ def test_ablation_battery_chemistry(benchmark, config, emit, bench_metrics):
         "Reserving half the cell for outage backup costs nothing at this "
         "duty (the scheme cycles a few hundred joules of a 300 kJ store)."
     )
-    assert results["li-ion"] > results["lead-acid"]
-    assert results["ultracap"] >= results["li-ion"] - 0.05
-    assert results["lead-acid-backup-reserve"] == pytest.approx(
-        results["lead-acid"], abs=0.05
-    )
+    if not tiny():
+        assert results["li-ion"] > results["lead-acid"]
+        assert results["ultracap"] >= results["li-ion"] - 0.05
+        assert results["lead-acid-backup-reserve"] == pytest.approx(
+            results["lead-acid"], abs=0.05
+        )

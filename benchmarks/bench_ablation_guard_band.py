@@ -13,12 +13,15 @@ import dataclasses
 import numpy as np
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import run_policy_comparison
 from repro.server.config import ServerConfig
 from repro.workloads.mixes import get_mix
 
-MIX_IDS = (1, 10, 14)
+MIX_IDS = pick((1, 10, 14), (1,))
+DURATION_S = pick(15.0, 2.0)
+WARMUP_S = pick(6.0, 0.5)
 
 
 def gain_at_band(band: float, sink=None) -> float:
@@ -28,8 +31,8 @@ def gain_at_band(band: float, sink=None) -> float:
         ["util-unaware", "app+res-aware"],
         100.0,
         config=config,
-        duration_s=15.0,
-        warmup_s=6.0,
+        duration_s=DURATION_S,
+        warmup_s=WARMUP_S,
         use_oracle_estimates=True,
     )
     if sink is not None:
@@ -57,8 +60,9 @@ def test_ablation_guard_band(benchmark, emit, bench_metrics):
         f"the default 6% band adds the enforcement asymmetry, reaching "
         f"{gains[0.06] - 1:+.1%} (the paper's ~+20% regime)"
     )
-    # The aware policy wins even with no enforcement asymmetry at all.
-    assert gains[0.0] > 1.02
-    # And the gap grows with the band (the baseline pays it, we don't).
-    ordered = [gains[b] for b in (0.0, 0.03, 0.06, 0.10)]
-    assert all(b >= a - 0.01 for a, b in zip(ordered, ordered[1:]))
+    if not tiny():
+        # The aware policy wins even with no enforcement asymmetry at all.
+        assert gains[0.0] > 1.02
+        # And the gap grows with the band (the baseline pays it, we don't).
+        ordered = [gains[b] for b in (0.0, 0.03, 0.06, 0.10)]
+        assert all(b >= a - 0.01 for a, b in zip(ordered, ordered[1:]))

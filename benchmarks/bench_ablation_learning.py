@@ -10,13 +10,17 @@ the RAPL-guard trims that absorb its errors.
 import numpy as np
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import run_mix_experiment
 from repro.learning.sampling import StratifiedSampler
 from repro.workloads.mixes import get_mix
 
-MIX_IDS = (1, 10, 14)
+MIX_IDS = pick((1, 10, 14), (1,))
 CAP_W = 100.0
+DURATION_S = pick(15.0, 2.0)
+WARMUP_S = pick(6.0, 0.5)
+LEARN_RUN_S = pick(21.0, 2.5)
 
 
 def mean_throughput(config, *, oracle, fraction=0.10, seed=0, sink=None):
@@ -28,8 +32,8 @@ def mean_throughput(config, *, oracle, fraction=0.10, seed=0, sink=None):
             CAP_W,
             mix_id=mix_id,
             config=config,
-            duration_s=15.0,
-            warmup_s=6.0,
+            duration_s=DURATION_S,
+            warmup_s=WARMUP_S,
             use_oracle_estimates=oracle,
             seed=seed,
         )
@@ -66,9 +70,9 @@ def sweep(config, bench_metrics):
                 mediator.add_application(
                     profile.with_total_work(float("inf")), skip_overhead=True
                 )
-            mediator.run_for(21.0)
+            mediator.run_for(LEARN_RUN_S)
             bench_metrics.record(mediator.export_metrics())
-            totals.append(mediator.server_objective(since_s=6.0))
+            totals.append(mediator.server_objective(since_s=WARMUP_S))
         rows.append((f"learned @ {fraction:.0%}", float(np.mean(totals))))
     return rows
 
@@ -86,7 +90,8 @@ def test_ablation_learning_value(benchmark, config, sweep, emit):
         f"online learning at the paper's 10% operating point retains "
         f"{ten / oracle:.1%} of oracle-quality allocation"
     )
-    assert ten / oracle > 0.9
-    # Starving the sampler must not break anything (the RAPL guard absorbs
-    # the estimation error), merely degrade quality.
-    assert values["learned @ 2%"] > 0.5 * oracle
+    if not tiny():
+        assert ten / oracle > 0.9
+        # Starving the sampler must not break anything (the RAPL guard
+        # absorbs the estimation error), merely degrade quality.
+        assert values["learned @ 2%"] > 0.5 * oracle

@@ -24,11 +24,13 @@ from __future__ import annotations
 import json
 import os
 
+from benchmarks._tiny import pick
 from repro.adversary.plan import ADVERSARY_KINDS
 from repro.analysis.reporting import banner, format_table
 from repro.chaos import run_adversary_mix
 
 BENCH_KIND = "inflate"
+KINDS = pick(ADVERSARY_KINDS, (BENCH_KIND,))
 
 
 def _run(kind: str) -> dict:
@@ -70,7 +72,7 @@ def _run(kind: str) -> dict:
 
 def test_adversary_defense_costs(benchmark, emit):
     rows = []
-    for kind in ADVERSARY_KINDS:
+    for kind in KINDS:
         if kind == BENCH_KIND:
             row = benchmark.pedantic(
                 lambda: _run(BENCH_KIND), rounds=1, iterations=1

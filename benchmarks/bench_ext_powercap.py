@@ -14,6 +14,7 @@ paper implies:
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.allocator import PowerAllocator
 from repro.core.utility import CandidateSet
@@ -23,6 +24,10 @@ from repro.workloads.mixes import get_mix
 
 CAP_W = 100.0
 MIX_ID = 1  # stream + kmeans: resource preferences differ most
+# The zone control loop needs ~11 s to settle under the cap, so even
+# the tiny run must outlast that for the isolation asserts to hold.
+RUN_S = pick(60.0, 14.0)
+MEASURE_FROM_S = pick(20.0, 12.0)
 
 
 def run_zoned(config, limits):
@@ -39,10 +44,10 @@ def run_zoned(config, limits):
         for name, profile in zip(mix.names(), mix.profiles())
     }
     work = {name: 0.0 for name in limits}
-    measure_from = 20.0
+    measure_from = MEASURE_FROM_S
     measured = 0.0
     t = 0.0
-    while t < 60.0:
+    while t < RUN_S:
         result = server.tick(0.1)
         powercap.on_tick(result)
         t = result.time_s
@@ -103,5 +108,6 @@ def test_ext_hardware_zones(benchmark, config, emit):
     # Isolation: both configurations keep the wall under the cap.
     assert equal_result.breakdown.wall_w <= CAP_W + 1e-6
     assert mediated_result.breakdown.wall_w <= CAP_W + 1e-6
-    # Apportioning: utility-aware limits beat naive equal limits.
-    assert mediated_total > equal_total * 1.02
+    if not tiny():
+        # Apportioning: utility-aware limits beat naive equal limits.
+        assert mediated_total > equal_total * 1.02

@@ -12,6 +12,7 @@ the utility lost to the faults is reported next to the resilience counters
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.metrics import summarize_resilience
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import run_dynamic_experiment, run_mix_experiment
@@ -21,8 +22,31 @@ from repro.workloads.generator import ArrivalEvent, ArrivalSchedule
 from repro.workloads.mixes import get_mix
 
 CAP_W = 80.0
-DURATION_S = 50.0
-WARMUP_S = 5.0
+DURATION_S = pick(50.0, 6.0)
+WARMUP_S = pick(5.0, 0.5)
+
+
+def _fault_plan(seed=1):
+    """The default plan, or the same fault classes squeezed into the tiny
+    run so every incident still opens *and recovers* before the end."""
+    if not tiny():
+        return default_fault_plan(seed=seed)
+    from repro.faults import FaultPlan, FaultSpec
+
+    return FaultPlan(
+        specs=(
+            FaultSpec(kind="app", mode="hang", start_s=1.0, duration_s=0.5),
+            FaultSpec(kind="rapl", mode="drop", start_s=1.8, duration_s=0.5),
+            FaultSpec(kind="telemetry", mode="drop", start_s=2.5, duration_s=0.4),
+            FaultSpec(
+                kind="telemetry", mode="noise", start_s=3.1, duration_s=0.4,
+                magnitude=0.8,
+            ),
+            FaultSpec(kind="battery", mode="outage", start_s=3.7, duration_s=0.6),
+            FaultSpec(kind="app", mode="crash", start_s=4.5),
+        ),
+        seed=seed,
+    )
 
 
 def _run(faults, sink=None):
@@ -44,7 +68,7 @@ def _run(faults, sink=None):
 def test_clean_vs_faulty_utility(benchmark, emit, bench_metrics):
     clean = _run(None, sink=bench_metrics)
     faulty = benchmark.pedantic(
-        lambda: _run(default_fault_plan(seed=1), sink=bench_metrics),
+        lambda: _run(_fault_plan(seed=1), sink=bench_metrics),
         rounds=1,
         iterations=1,
     )
@@ -88,24 +112,32 @@ def test_clean_vs_faulty_utility(benchmark, emit, bench_metrics):
 
 
 def test_faulty_dynamic_completion(benchmark, emit, bench_metrics):
+    work = pick(1.0, 1.0 / 12.5)
+    horizon_s = pick(120.0, 12.0)
+    late_arrival_s = pick(50.0, 5.0)
+
     def run():
         events = [
-            ArrivalEvent(0.0, CATALOG["kmeans"].with_total_work(25.0)),
-            ArrivalEvent(2.0, CATALOG["x264"].with_total_work(25.0)),
-            ArrivalEvent(50.0, CATALOG["stream"].with_total_work(20.0)),
+            ArrivalEvent(0.0, CATALOG["kmeans"].with_total_work(25.0 * work)),
+            ArrivalEvent(2.0, CATALOG["x264"].with_total_work(25.0 * work)),
+            ArrivalEvent(
+                late_arrival_s, CATALOG["stream"].with_total_work(20.0 * work)
+            ),
         ]
         return run_dynamic_experiment(
             ArrivalSchedule(events),
             "app+res-aware",
             CAP_W,
-            horizon_s=120.0,
+            horizon_s=horizon_s,
             seed=1,
-            faults=default_fault_plan(seed=1),
+            faults=_fault_plan(seed=1),
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     bench_metrics.record(result.metrics)
-    summary = summarize_resilience(result.fault_stats, total_ticks=1200)
+    summary = summarize_resilience(
+        result.fault_stats, total_ticks=int(horizon_s / 0.1)
+    )
     emit("\n" + banner("FAULTY DYNAMIC RUN: all non-crashed arrivals complete"))
     emit(
         f"admitted {len(result.admitted)}, completed {len(result.completed)}, "

@@ -12,12 +12,18 @@ Regenerates both timelines:
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.events import DepartureEvent
 from repro.core.mediator import PowerMediator
 from repro.core.policies import make_policy
 from repro.server.server import SimulatedServer
 from repro.workloads.catalog import CATALOG
+
+
+ARRIVAL_S = pick(20.0, 3.0)
+DEPART_RUN_S = pick(60.0, 10.0)
+DEPART_WORK = pick(45.0, 3.0)
 
 
 def timeline_samples(mediator, times):
@@ -40,21 +46,31 @@ def test_fig11a_arrival(benchmark, config, emit, bench_metrics):
         sssp = CATALOG["sssp"].with_total_work(float("inf"))
         x264 = CATALOG["x264"].with_total_work(float("inf"))
         mediator.add_application(sssp, skip_overhead=True)
-        mediator.run_for(20.0)
+        mediator.run_for(ARRIVAL_S)
         mediator.add_application(x264)  # the ~800 ms overhead is charged
-        mediator.run_for(20.0)
+        mediator.run_for(ARRIVAL_S)
         return mediator
 
     mediator = benchmark.pedantic(run, rounds=1, iterations=1)
     bench_metrics.record(mediator.export_metrics())
-    emit("\n" + banner("FIG 11a: X264 arrives at t = 20 s (P_cap = 100 W)"))
+    emit("\n" + banner(f"FIG 11a: X264 arrives at t = {ARRIVAL_S:.0f} s (P_cap = 100 W)"))
     emit(
         format_table(
             ["t [s]", "wall [W]", "apps (power, knob)"],
-            timeline_samples(mediator, [5.0, 19.5, 22.0, 35.0]),
+            timeline_samples(
+                mediator,
+                [
+                    ARRIVAL_S * 0.25,
+                    ARRIVAL_S - 0.5,
+                    ARRIVAL_S + 2.0,
+                    2.0 * ARRIVAL_S - 1.0,
+                ],
+            ),
         )
     )
-    before = min(mediator.timeline, key=lambda r: abs(r.time_s - 19.5))
+    before = min(
+        mediator.timeline, key=lambda r: abs(r.time_s - (ARRIVAL_S - 0.5))
+    )
     after = mediator.timeline[-1]
     emit(
         f"sssp power {before.app_power_w['sssp']:.1f} -> "
@@ -79,10 +95,10 @@ def test_fig11b_departure(benchmark, config, emit, bench_metrics):
             server, make_policy("app+res-aware"), 100.0, use_oracle_estimates=True
         )
         kmeans = CATALOG["kmeans"].with_total_work(float("inf"))
-        pagerank = CATALOG["pagerank"].with_total_work(45.0)
+        pagerank = CATALOG["pagerank"].with_total_work(DEPART_WORK)
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.add_application(pagerank, skip_overhead=True)
-        mediator.run_for(60.0)
+        mediator.run_for(DEPART_RUN_S)
         return mediator
 
     mediator = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -99,7 +115,12 @@ def test_fig11b_departure(benchmark, config, emit, bench_metrics):
             ["t [s]", "wall [W]", "apps (power, knob)"],
             timeline_samples(
                 mediator,
-                [departure_t - 5.0, departure_t - 0.5, departure_t + 2.0, 59.0],
+                [
+                    departure_t - 5.0,
+                    departure_t - 0.5,
+                    departure_t + 2.0,
+                    DEPART_RUN_S - 1.0,
+                ],
             ),
         )
     )

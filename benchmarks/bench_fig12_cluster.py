@@ -17,11 +17,12 @@ here at the mild shaving level.
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_series, format_table
 from repro.cluster.cluster import ClusterSimulator
 from repro.workloads.traces import ClusterPowerTrace
 
-SHAVES = (0.15, 0.30, 0.45)
+SHAVES = pick((0.15, 0.30, 0.45), (0.15,))
 
 
 @pytest.fixture(scope="module")
@@ -31,7 +32,10 @@ def experiment(config):
         peak_w=simulator.uncapped_cluster_power_w(), step_s=120.0, seed=1
     )
     return simulator.run(
-        trace=trace, shave_fractions=SHAVES, duration_s=30.0, warmup_s=12.0
+        trace=trace,
+        shave_fractions=SHAVES,
+        duration_s=pick(30.0, 3.0),
+        warmup_s=pick(12.0, 0.5),
     )
 
 
@@ -102,10 +106,11 @@ def test_fig12b_aggregate_performance(benchmark, experiment, emit):
         f"budget-efficiency gain at 15% shaving: {eff_gain_rapl:+.1%} vs RAPL, "
         f"{eff_gain_cons:+.1%} vs consolidation (paper: +12%, +4%)"
     )
-    # Orderings: ours beats RAPL everywhere; beats consolidation at the
-    # mild level; everyone degrades with stringency.
-    for o, r in zip(ours, rapl):
-        assert o > r
-    assert ours[0] >= cons[0] - 0.02
-    assert ours == sorted(ours, reverse=True)
-    assert eff_gain_rapl > 0.03
+    if not tiny():
+        # Orderings: ours beats RAPL everywhere; beats consolidation at the
+        # mild level; everyone degrades with stringency.
+        for o, r in zip(ours, rapl):
+            assert o > r
+        assert ours[0] >= cons[0] - 0.02
+        assert ours == sorted(ours, reverse=True)
+        assert eff_gain_rapl > 0.03

@@ -14,11 +14,14 @@ the analytic rate.
 
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import default_battery, run_mix_experiment
 from repro.workloads.mixes import get_mix
 
 CAP_W = 70.0
+DURATION_S = pick(60.0, 2.0)
+WARMUP_S = pick(20.0, 0.5)
 
 
 def sustainable_on_fraction(overshoot_w, headroom_w, efficiency):
@@ -59,8 +62,8 @@ def test_fig5_consolidated_vs_alternate_duty_cycling(
         kwargs=dict(
             mix_id=mix.mix_id,
             config=config,
-            duration_s=60.0,
-            warmup_s=20.0,
+            duration_s=DURATION_S,
+            warmup_s=WARMUP_S,
             use_oracle_estimates=True,
         ),
         rounds=1,
@@ -85,4 +88,6 @@ def test_fig5_consolidated_vs_alternate_duty_cycling(
         "(paper: ~1.3x - 6.5 s vs 5 s of execution)"
     )
     assert 1.1 <= gain <= 1.6
-    assert measured_per_app == pytest.approx(per_app_consolidated, rel=0.25)
+    if not tiny():
+        # Needs several full duty cycles of averaging to converge.
+        assert measured_per_app == pytest.approx(per_app_consolidated, rel=0.25)

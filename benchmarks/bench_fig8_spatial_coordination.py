@@ -13,6 +13,7 @@ Regenerates all three panels over the full Table II:
 import numpy as np
 import pytest
 
+from benchmarks._tiny import pick, tiny
 from repro.analysis.metrics import summarize_policies
 from repro.analysis.reporting import banner, format_table
 from repro.core.simulation import run_mix_experiment, run_policy_comparison
@@ -25,7 +26,12 @@ CAP_W = 100.0
 @pytest.fixture(scope="module")
 def comparison(config, bench_metrics):
     results = run_policy_comparison(
-        all_mixes(), POLICIES, CAP_W, config=config, duration_s=25.0, warmup_s=8.0
+        pick(all_mixes(), [get_mix(1), get_mix(10)]),
+        POLICIES,
+        CAP_W,
+        config=config,
+        duration_s=pick(25.0, 2.0),
+        warmup_s=pick(8.0, 0.5),
     )
     for per_policy in results.values():
         for result in per_policy.values():
@@ -37,7 +43,9 @@ def test_fig8a_server_throughput(benchmark, comparison, config, emit):
     benchmark.pedantic(
         run_mix_experiment,
         args=(list(get_mix(10).profiles()), "app+res-aware", CAP_W),
-        kwargs=dict(config=config, duration_s=10.0, warmup_s=4.0),
+        kwargs=dict(
+            config=config, duration_s=pick(10.0, 2.0), warmup_s=pick(4.0, 0.5)
+        ),
         rounds=1,
         iterations=1,
     )
@@ -57,9 +65,10 @@ def test_fig8a_server_throughput(benchmark, comparison, config, emit):
         + ", ".join(f"{p}: {g:.3f}" for p, g in gains.items())
         + "  (paper: server+res ~1.0, app-aware ~1.10, app+res ~1.20)"
     )
-    assert gains["app-aware"] > 1.05
-    assert gains["app+res-aware"] > gains["app-aware"]
-    assert gains["app+res-aware"] > 1.12
+    if not tiny():
+        assert gains["app-aware"] > 1.05
+        assert gains["app+res-aware"] > gains["app-aware"]
+        assert gains["app+res-aware"] > 1.12
 
 
 def test_fig8b_power_splits(benchmark, comparison, emit):
@@ -77,10 +86,12 @@ def test_fig8b_power_splits(benchmark, comparison, emit):
     summaries = summarize_policies(comparison)
     low, high = summaries["app+res-aware"].mean_power_split
     emit(f"average split: {low:.0%}-{high:.0%} (paper: 46%-54%)")
-    assert low < 0.5 < high
+    if not tiny():
+        assert low < 0.5 < high
     # Mix-10: the paper's 55-45 in PageRank's favour.
     mix10 = comparison[10]["app+res-aware"].power_share
-    assert mix10["pagerank"] > mix10["kmeans"]
+    if not tiny():
+        assert mix10["pagerank"] > mix10["kmeans"]
 
 
 def test_fig8c_per_app_speedups(benchmark, comparison, emit):
@@ -102,4 +113,5 @@ def test_fig8c_per_app_speedups(benchmark, comparison, emit):
         f"mean per-app speedup {np.mean(speedups):.3f}; "
         f"{sum(1 for s in speedups if s >= 0.98)}/{len(speedups)} apps at or above baseline"
     )
-    assert np.mean(speedups) > 1.05
+    if not tiny():
+        assert np.mean(speedups) > 1.05

@@ -25,13 +25,14 @@ import json
 import os
 import time
 
+from benchmarks._tiny import pick
 from repro.analysis.reporting import banner, format_table
 from repro.service import MediatorService, ServiceConfig
 
 # The regular lane drains 2 commands/tick (20/s of sim time; 1/tick under
 # overload), so the upper half of the sweep genuinely outruns the drain.
-TICKS = 1200
-RATES_PER_S = (0.5, 5.0, 25.0, 50.0)
+TICKS = pick(1200, 120)
+RATES_PER_S = pick((0.5, 5.0, 25.0, 50.0), (0.5, 5.0, 50.0))
 BENCH_RATE_PER_S = 5.0
 
 

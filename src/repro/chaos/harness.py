@@ -170,6 +170,7 @@ def mix_recipe(
     seed: int,
     faults: FaultPlan | None,
     resilience: ResilienceConfig | None,
+    engine: str = "scalar",
 ) -> tuple[RunRecipe, list[Command]]:
     """The recipe + script equivalent of :func:`run_mix_experiment`."""
     if not apps:
@@ -183,6 +184,7 @@ def mix_recipe(
         seed=seed,
         faults=faults,
         resilience=resilience,
+        engine=engine,
     )
     script: list[Command] = [
         # Steady-state runs must not see departures; give everyone ample work.

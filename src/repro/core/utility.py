@@ -63,9 +63,25 @@ class CandidateSet:
         *,
         power_model: PowerModel | None = None,
     ) -> "CandidateSet":
-        """Oracle candidate set from the true response models."""
+        """Oracle candidate set from the true response models.
+
+        A vector power model (:class:`repro.engine.VectorPowerModel`) exposes
+        ``surface_of``; its precomputed columns are gathered wholesale instead
+        of looping 432 scalar queries - bit-identical either way, so the fast
+        path needs no behavioural carve-outs.
+        """
         power_model = power_model if power_model is not None else PowerModel(config)
         perf_model = power_model.perf_model
+        surface_of = getattr(power_model, "surface_of", None)
+        if surface_of is not None and power_model.config is config:
+            surface = surface_of(profile)
+            return cls(
+                app=profile.name,
+                knobs=surface.knobs,
+                power_w=surface.app_power_w.copy(),
+                perf=surface.rate.copy(),
+                perf_nocap=float(surface.peak_rate),
+            )
         knobs = tuple(config.knob_space())
         power = np.array([power_model.app_power_w(profile, k) for k in knobs])
         perf = np.array([perf_model.rate(profile, k) for k in knobs])

@@ -1,0 +1,53 @@
+"""``repro.engine``: the vectorized fast path, pinned to the scalar reference.
+
+Two layers:
+
+* **Vector models** (:mod:`repro.engine.models`): drop-in subclasses of the
+  scalar performance/power models that serve every query from precomputed
+  full-knob-space response surfaces (:mod:`repro.engine.surface`). Selected
+  with ``engine="vector"`` on :class:`~repro.server.server.SimulatedServer`
+  and threaded through every experiment driver and the CLI (``--engine``).
+  Bit-identical to the scalar path by construction - the golden-trace suite
+  pins both, and ``tests/engine/test_differential.py`` fuzzes the claim.
+* **Batch fleet** (:mod:`repro.engine.batch`): N servers advanced per tick
+  with array operations, for fleet-scale throughput
+  (``benchmarks/bench_engine_throughput.py``).
+
+The scalar path remains the golden reference; the vector path exists to make
+it affordable at scale, never to redefine it.
+"""
+
+from __future__ import annotations
+
+from repro.engine.batch import BatchFleet
+from repro.engine.models import VectorPerformanceModel, VectorPowerModel
+from repro.engine.surface import ConfigGrid, ResponseSurface, grid_for, surface_for
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ENGINE_KINDS",
+    "BatchFleet",
+    "ConfigGrid",
+    "ResponseSurface",
+    "VectorPerformanceModel",
+    "VectorPowerModel",
+    "grid_for",
+    "surface_for",
+    "validate_engine",
+]
+
+#: The engine switch's accepted values, in reference-first order.
+ENGINE_KINDS = ("scalar", "vector")
+
+
+def validate_engine(engine: str) -> str:
+    """Normalize/validate an ``engine=`` argument.
+
+    Raises:
+        ConfigurationError: for anything but the supported kinds.
+    """
+    if engine not in ENGINE_KINDS:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_KINDS}"
+        )
+    return engine

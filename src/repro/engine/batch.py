@@ -1,0 +1,242 @@
+"""Batch fleet engine: advance N servers' engine phase as one numpy tick.
+
+:class:`BatchFleet` is the fleet-scale fast path. Where a loop of
+:class:`~repro.server.server.SimulatedServer` instances re-runs the Python
+model chains for every app on every server every tick, the fleet flattens
+all ``(server, app)`` pairs into arrays - per-app rates and attributable
+powers gathered once from the cached response surfaces - and advances the
+whole fleet with a handful of elementwise operations per tick. That turns
+the per-tick cost from O(servers x apps x model-chain) Python work into a
+few array ops whose cost is dominated by numpy's fixed per-op overhead,
+which is exactly what amortizes at 100-1000 servers
+(``benchmarks/bench_engine_throughput.py`` records the trajectory).
+
+The fleet mirrors the scalar engine's arithmetic exactly, under the same
+equivalence contract as the vector models (see :mod:`repro.engine.surface`):
+
+* per-app work is ``rate * dt`` clamped to remaining work, the scalar tick's
+  expression in the scalar order;
+* per-server dynamic power accumulates with ``np.bincount`` over apps in
+  sorted-name order - a single in-order C pass, i.e. a strictly sequential
+  left-to-right sum per server, matching ``sum(breakdown.app_w.values())``
+  over the scalar engine's sorted running dict (numpy's pairwise ``sum``
+  would differ for 8+ apps; ``bincount`` never does);
+* the psys energy counter accumulates ``(e + wall * dt) % wrap`` exactly
+  like :class:`~repro.server.rapl.RaplDomain`.
+
+Scope: the batch path covers the *engine phase* - power breakdown, work
+progression, completion, energy accounting - for honest, always-on fleets
+(no deep sleep, resume debt, parasitic draw or ESD flows; those belong to
+the per-server mediator stack, which uses the vector models instead).
+``tests/engine/test_batch.py`` pins the fleet bit-for-bit against a loop of
+scalar servers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.surface import grid_for
+from repro.errors import ConfigurationError, SchedulingError
+from repro.server.config import KnobSetting, ServerConfig, DEFAULT_SERVER_CONFIG
+from repro.server.rapl import ENERGY_WRAP_J
+from repro.workloads.profiles import WorkloadProfile
+
+__all__ = ["BatchFleet"]
+
+
+class BatchFleet:
+    """N independent servers advanced in lockstep with array operations.
+
+    Args:
+        config: Shared hardware description (all servers identical).
+        mixes: One list of workload profiles per server. Apps on a server
+            must have unique names; per-server accounting follows
+            sorted-name order exactly like the scalar engine's running set.
+        group_width: Core-group width per app (as in
+            :meth:`SimulatedServer.admit`); the default initial knob follows
+            the same rule - the uncapped maximum, clamped to the width.
+        dt_s: Tick duration used by :meth:`advance`.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig = DEFAULT_SERVER_CONFIG,
+        mixes: list[list[WorkloadProfile]] | None = None,
+        *,
+        group_width: int | None = None,
+        dt_s: float = 0.1,
+    ) -> None:
+        if not mixes:
+            raise ConfigurationError("a fleet needs at least one server mix")
+        if dt_s <= 0:
+            raise ConfigurationError("tick duration must be positive")
+        width = config.cores_max if group_width is None else group_width
+        if not config.cores_min <= width <= config.cores_max:
+            raise ConfigurationError(
+                f"group width {width} outside [{config.cores_min}, {config.cores_max}]"
+            )
+        per_server = config.sockets * (config.cores_per_socket // width)
+        self._config = config
+        self._grid = grid_for(config)
+        self._dt_s = dt_s
+        self._n_servers = len(mixes)
+        if width >= config.cores_max:
+            initial_knob = config.max_knob
+        else:
+            initial_knob = KnobSetting(config.freq_max_ghz, width, config.dram_power_max_w)
+        initial_idx = self._grid.index_of(initial_knob)
+        assert initial_idx is not None  # grid always contains its own knobs
+
+        profiles: list[WorkloadProfile] = []
+        server_ids: list[int] = []
+        self._flat_index: dict[tuple[int, str], int] = {}
+        for server, mix in enumerate(mixes):
+            ordered = sorted(mix, key=lambda prof: prof.name)
+            if len(ordered) > per_server:
+                raise SchedulingError(
+                    f"server {server}: {len(ordered)} apps exceed the "
+                    f"{per_server} core groups of width {width}"
+                )
+            for profile in ordered:
+                key = (server, profile.name)
+                if key in self._flat_index:
+                    raise SchedulingError(
+                        f"application {profile.name!r} is already on server {server}"
+                    )
+                self._flat_index[key] = len(profiles)
+                profiles.append(profile)
+                server_ids.append(server)
+        if not profiles:
+            raise ConfigurationError("a fleet needs at least one application")
+
+        self._profiles = tuple(profiles)
+        self._server_ids = np.array(server_ids, dtype=np.intp)
+        n_apps = len(profiles)
+        self._knob_idx = np.full(n_apps, initial_idx, dtype=np.intp)
+        self._rate = np.array(
+            [self._grid.surface(prof).rate[initial_idx] for prof in profiles]
+        )
+        self._app_power_w = np.array(
+            [self._grid.surface(prof).app_power_w[initial_idx] for prof in profiles]
+        )
+        self._total_work = np.array([prof.total_work for prof in profiles])
+        self._work_done = np.zeros(n_apps)
+        self._active = np.ones(n_apps, dtype=bool)
+        self._energy_j = np.zeros(self._n_servers)
+        self._last_wall_w = np.zeros(self._n_servers)
+        self._now_s = 0.0
+
+    # ------------------------------------------------------------ accessors
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def n_servers(self) -> int:
+        return self._n_servers
+
+    @property
+    def n_apps(self) -> int:
+        return len(self._profiles)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    @property
+    def dt_s(self) -> float:
+        return self._dt_s
+
+    def wall_power_w(self) -> np.ndarray:
+        """Per-server wall power of the last tick (copy)."""
+        return self._last_wall_w.copy()
+
+    def energy_j(self) -> np.ndarray:
+        """Per-server psys energy counters, modulo the RAPL wrap (copy)."""
+        return self._energy_j.copy()
+
+    def work_done(self, server: int, app: str) -> float:
+        """Work units one app has completed so far."""
+        return float(self._work_done[self._index(server, app)])
+
+    def is_active(self, server: int, app: str) -> bool:
+        """``False`` once the app ran out of work (scalar: suspended)."""
+        return bool(self._active[self._index(server, app)])
+
+    def total_work_done(self) -> float:
+        """Fleet-wide completed work (reporting; order-sensitive consumers
+        should read per-app values instead)."""
+        return float(np.sum(self._work_done))
+
+    def _index(self, server: int, app: str) -> int:
+        try:
+            return self._flat_index[(server, app)]
+        except KeyError:
+            raise SchedulingError(
+                f"application {app!r} is not on server {server}"
+            ) from None
+
+    # ------------------------------------------------------------ actuation
+
+    def set_knob(self, server: int, app: str, knob: KnobSetting) -> None:
+        """Re-point one app's gathered rate/power at a new knob setting."""
+        self._config.validate_knob(knob)
+        idx = self._grid.index_of(knob)
+        if idx is None:
+            raise ConfigurationError(f"{knob} is not on the discrete grid")
+        flat = self._index(server, app)
+        self._knob_idx[flat] = idx
+        surface = self._grid.surface(self._profiles[flat])
+        self._rate[flat] = surface.rate[idx]
+        self._app_power_w[flat] = surface.app_power_w[idx]
+
+    def knob_of(self, server: int, app: str) -> KnobSetting:
+        """The app's current knob setting."""
+        return self._grid.knobs[int(self._knob_idx[self._index(server, app)])]
+
+    # ------------------------------------------------------------- the tick
+
+    def tick(self) -> None:
+        """Advance every server by one ``dt_s`` tick.
+
+        Mirrors :meth:`SimulatedServer.tick` for the covered scope: power is
+        charged for apps active at tick start (an app finishing this tick
+        still drew its allocation), then work progresses and exhausted apps
+        deactivate.
+        """
+        dt = self._dt_s
+        cfg = self._config
+        active = self._active
+
+        # PowerBreakdown: wall = (idle + cm) + dynamic, dynamic summed
+        # sequentially over sorted-name app order (bincount is an in-order
+        # C pass, so each server's sum associates left to right exactly like
+        # the scalar sum over its running dict).
+        contrib = np.where(active, self._app_power_w, 0.0)
+        dynamic = np.bincount(
+            self._server_ids, weights=contrib, minlength=self._n_servers
+        )
+        wall = (cfg.p_idle_w + cfg.p_cm_w) + dynamic
+
+        # Work loop: rate * dt clamped to remaining work, as in the scalar
+        # engine (no sleep/resume debt in the batch scope: useful_s == dt).
+        work = np.where(active, self._rate * dt, 0.0)
+        remaining = np.maximum(0.0, self._total_work - self._work_done)
+        work = np.minimum(work, remaining)
+        self._work_done = self._work_done + work
+        exhausted = np.maximum(0.0, self._total_work - self._work_done) <= 0.0
+        self._active = active & ~exhausted
+
+        # RaplDomain.advance for the psys plane, elementwise.
+        self._energy_j = (self._energy_j + wall * dt) % ENERGY_WRAP_J
+        self._last_wall_w = wall
+        self._now_s = self._now_s + dt
+
+    def advance(self, n_ticks: int) -> None:
+        """Run ``n_ticks`` consecutive ticks."""
+        if n_ticks < 0:
+            raise ConfigurationError("n_ticks must be non-negative")
+        for _ in range(n_ticks):
+            self.tick()

@@ -45,7 +45,9 @@ class GoldenSpec:
 
     ``trace_hash`` and ``modes`` are the *recorded* outcome (empty/None on a
     freshly authored spec until ``--write`` fills them in); everything else
-    parameterizes the run.
+    parameterizes the run. ``engine`` selects the server model
+    implementation; the vector engine is pinned to the *same* hashes as the
+    scalar reference, so a vector spec re-records to an identical hash.
     """
 
     name: str
@@ -59,6 +61,7 @@ class GoldenSpec:
     regime: str  # dominant coordination mode the spec is meant to pin
     trace_hash: str | None = None
     modes: dict[str, int] | None = None
+    engine: str = "scalar"
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -73,6 +76,7 @@ class GoldenSpec:
             "regime": self.regime,
             "trace_hash": self.trace_hash,
             "modes": self.modes,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -102,6 +106,7 @@ class GoldenSpec:
             regime=_VALIDATE.as_str(doc.get("regime"), f"{path}.regime"),
             trace_hash=None if raw_hash is None else str(raw_hash),
             modes=modes,
+            engine=_VALIDATE.as_str(doc.get("engine", "scalar"), f"{path}.engine"),
         )
 
 
@@ -144,6 +149,7 @@ def run_spec(spec: GoldenSpec, *, defense=None) -> GoldenOutcome:
         seed=spec.seed,
         trace_bus=bus,
         defense=defense,
+        engine=spec.engine,
     )
     verify_trace(bus.events)
     summary = summarize_trace(bus.events)

@@ -47,6 +47,7 @@ from repro.core.mediator import PowerMediator
 from repro.core.policies import POLICY_NAMES, make_policy
 from repro.core.resilience import ResilienceConfig
 from repro.core.simulation import default_battery
+from repro.engine import ENGINE_KINDS
 from repro.faults.plan import FaultPlan
 from repro.learning.sampling import sampler_from_spec
 from repro.server.config import DEFAULT_SERVER_CONFIG, ServerConfig
@@ -89,6 +90,9 @@ class RunRecipe:
         seed: Seed for calibration noise (and the server's sensors).
         faults: Optional fault plan injected during the run.
         resilience: Degraded-mode tunables, or ``None`` for defaults.
+        engine: Server model implementation (``"scalar"``/``"vector"``).
+            Bit-identical results, so restoring a checkpoint under either
+            engine is legal; the recipe records the one the run requested.
     """
 
     policy: str
@@ -103,6 +107,7 @@ class RunRecipe:
     seed: int = 0
     faults: FaultPlan | None = None
     resilience: ResilienceConfig | None = None
+    engine: str = "scalar"
 
     @property
     def wants_battery(self) -> bool:
@@ -120,7 +125,7 @@ class RunRecipe:
 
     def build(self) -> PowerMediator:
         """Construct a fresh mediator exactly as this recipe describes."""
-        server = SimulatedServer(self.config, seed=self.seed)
+        server = SimulatedServer(self.config, seed=self.seed, engine=self.engine)
         return PowerMediator(
             server,
             make_policy(self.policy),
@@ -157,6 +162,7 @@ class RunRecipe:
             "resilience": None
             if self.resilience is None
             else dataclasses.asdict(self.resilience),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -232,6 +238,9 @@ class RunRecipe:
                 seed=_VALID.as_int(obj.get("seed", 0), f"{where}.seed"),
                 faults=faults,
                 resilience=resilience,
+                engine=_VALID.choice(
+                    obj.get("engine", "scalar"), f"{where}.engine", ENGINE_KINDS
+                ),
             )
         except ConfigurationError as exc:
             raise CheckpointError(f"{where}: {exc}") from None

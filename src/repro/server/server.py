@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.engine import VectorPerformanceModel, VectorPowerModel, validate_engine
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.server.config import KnobSetting, ServerConfig, DEFAULT_SERVER_CONFIG
 from repro.server.heartbeats import HeartbeatMonitor
@@ -107,6 +108,11 @@ class SimulatedServer:
         power_noise_std_w: Gaussian noise on RAPL power readings.
         perf_noise_relative_std: Relative noise on heartbeat rates.
         seed: Seed for both noise sources (reproducibility).
+        engine: ``"scalar"`` for the reference Python models, ``"vector"``
+            for the surface-cached fast path (:mod:`repro.engine`). The two
+            are bit-identical - same trace hashes, same state dicts - so the
+            choice is purely a speed knob; it is construction-time config
+            (like the noise parameters) and not part of :meth:`state_dict`.
     """
 
     def __init__(
@@ -116,11 +122,17 @@ class SimulatedServer:
         power_noise_std_w: float = 0.0,
         perf_noise_relative_std: float = 0.0,
         seed: int = 0,
+        engine: str = "scalar",
     ) -> None:
         self._config = config
+        self._engine = validate_engine(engine)
         self._topology = ServerTopology(config)
-        self._perf = PerformanceModel(config)
-        self._power = PowerModel(config, self._perf)
+        if self._engine == "vector":
+            self._perf: PerformanceModel = VectorPerformanceModel(config)
+            self._power: PowerModel = VectorPowerModel(config, self._perf)
+        else:
+            self._perf = PerformanceModel(config)
+            self._power = PowerModel(config, self._perf)
         self._rapl = RaplInterface(config.sockets, noise_std_w=power_noise_std_w, seed=seed)
         self._heartbeats = HeartbeatMonitor(
             noise_relative_std=perf_noise_relative_std, seed=seed + 1
@@ -140,6 +152,11 @@ class SimulatedServer:
     @property
     def config(self) -> ServerConfig:
         return self._config
+
+    @property
+    def engine(self) -> str:
+        """Which model implementation backs this server (``scalar``/``vector``)."""
+        return self._engine
 
     @property
     def topology(self) -> ServerTopology:

@@ -18,10 +18,6 @@ from repro.workloads.catalog import get_application
 SOAK = os.environ.get("REPRO_SOAK") == "1"
 
 
-@pytest.fixture()
-def apps(stream, kmeans):
-    return [stream, kmeans]
-
 
 def test_kill_schedule_is_seeded_and_sorted():
     a = kill_schedule(60, 5, seed=42)

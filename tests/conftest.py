@@ -63,6 +63,69 @@ def server(config: ServerConfig) -> SimulatedServer:
     return SimulatedServer(config)
 
 
+@pytest.fixture(params=("scalar", "vector"))
+def engine(request) -> str:
+    """Both server-model implementations.
+
+    Fixtures built on this (``make_mediator``, and any test requesting it
+    directly) run twice - once per engine - so every behaviour they pin is
+    continuously proven engine-independent, complementing the dedicated
+    differential suite in ``tests/engine/``.
+    """
+    return request.param
+
+
+@pytest.fixture()
+def make_mediator(config: ServerConfig, engine: str):
+    """Shared tiny-run factory: a mediator on a fresh server.
+
+    The seconds-long mediator runs that used to be re-declared per test
+    module. Keyword arguments pass through to :class:`PowerMediator`;
+    ESD-using policies get the default battery unless one is supplied.
+    """
+    from repro.core.mediator import PowerMediator
+    from repro.core.policies import make_policy
+    from repro.core.simulation import default_battery
+
+    def make(policy: str = "app+res-aware", cap: float = 100.0, **kwargs):
+        server = SimulatedServer(config, engine=engine)
+        policy_obj = make_policy(policy)
+        battery = (
+            default_battery() if policy_obj.uses_esd else kwargs.pop("battery", None)
+        )
+        return PowerMediator(
+            server,
+            policy_obj,
+            cap,
+            battery=battery,
+            use_oracle_estimates=kwargs.pop("use_oracle_estimates", True),
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture()
+def apps(stream, kmeans):
+    """The default two-app tiny mix (chaos/service harness runs)."""
+    return [stream, kmeans]
+
+
+@pytest.fixture(scope="session")
+def service_cfg() -> dict:
+    """Small, fast service recipe: modest load, tight checkpoint cadence."""
+    return dict(
+        rate_per_s=0.4,
+        clients=3,
+        ingest_capacity=6,
+        drain_per_tick=2,
+        cap_levels=(90.0, 105.0),
+        cap_change_every_s=8.0,
+        checkpoint_every_ticks=50,
+        telemetry_every_ticks=20,
+    )
+
+
 @pytest.fixture(scope="session")
 def kmeans():
     return CATALOG["kmeans"]

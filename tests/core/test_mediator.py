@@ -1,4 +1,9 @@
-"""PowerMediator: end-to-end event handling, cap adherence, dynamics."""
+"""PowerMediator: end-to-end event handling, cap adherence, dynamics.
+
+Mediators come from the shared engine-parameterized ``make_mediator``
+factory (``tests/conftest.py``), so every behaviour here is pinned under
+both the scalar reference and the vector fast path.
+"""
 
 import pytest
 
@@ -6,36 +11,21 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.core.coordinator import CoordinationMode
 from repro.core.mediator import PowerMediator
 from repro.core.policies import make_policy
-from repro.core.simulation import default_battery
 from repro.server.server import SimulatedServer
 from repro.workloads.catalog import CATALOG
 from repro.workloads.generator import PhasedProfile
 from repro.workloads.profiles import WorkloadProfile
 
 
-def make_mediator(config, policy="app+res-aware", cap=100.0, **kwargs):
-    server = SimulatedServer(config)
-    policy_obj = make_policy(policy)
-    battery = default_battery() if policy_obj.uses_esd else kwargs.pop("battery", None)
-    return PowerMediator(
-        server,
-        policy_obj,
-        cap,
-        battery=battery,
-        use_oracle_estimates=kwargs.pop("use_oracle_estimates", True),
-        **kwargs,
-    )
-
-
 class TestLifecycle:
-    def test_add_and_run(self, config, kmeans):
-        mediator = make_mediator(config)
+    def test_add_and_run(self, make_mediator, kmeans):
+        mediator = make_mediator()
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.run_for(2.0)
         assert mediator.normalized_throughput("kmeans") > 0.5
 
-    def test_two_apps_under_cap(self, config, kmeans, pagerank):
-        mediator = make_mediator(config)
+    def test_two_apps_under_cap(self, make_mediator, kmeans, pagerank):
+        mediator = make_mediator()
         mediator.add_application(pagerank, skip_overhead=True)
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.run_for(3.0)
@@ -47,29 +37,29 @@ class TestLifecycle:
         with pytest.raises(ConfigurationError):
             PowerMediator(server, make_policy("app+res+esd-aware"), 80.0)
 
-    def test_reallocate_without_apps_rejected(self, config):
-        mediator = make_mediator(config)
+    def test_reallocate_without_apps_rejected(self, make_mediator):
+        mediator = make_mediator()
         with pytest.raises(SchedulingError):
             mediator.reallocate()
 
-    def test_phased_profile_must_match_initial(self, config, kmeans):
+    def test_phased_profile_must_match_initial(self, make_mediator, kmeans):
         heavy = WorkloadProfile.from_dict({**kmeans.to_dict(), "mem_gb_per_work": 1.0})
         phased = PhasedProfile([(0.0, kmeans), (0.5, heavy)])
-        mediator = make_mediator(config)
+        mediator = make_mediator()
         with pytest.raises(ConfigurationError):
             mediator.add_application(heavy, phased=phased)
 
-    def test_invalid_duration_rejected(self, config, kmeans):
-        mediator = make_mediator(config)
+    def test_invalid_duration_rejected(self, make_mediator, kmeans):
+        mediator = make_mediator()
         mediator.add_application(kmeans, skip_overhead=True)
         with pytest.raises(ConfigurationError):
             mediator.run_for(0.0)
 
 
 class TestCapChange(object):
-    def test_e1_triggers_reallocation(self, config, kmeans, pagerank):
+    def test_e1_triggers_reallocation(self, make_mediator, kmeans, pagerank):
         """Dropping 100 -> 80 W forces a switch to temporal coordination."""
-        mediator = make_mediator(config, policy="app+res-aware")
+        mediator = make_mediator(policy="app+res-aware")
         mediator.add_application(pagerank, skip_overhead=True)
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.run_for(2.0)
@@ -80,8 +70,8 @@ class TestCapChange(object):
         for record in mediator.timeline:
             assert record.wall_w <= record.p_cap_w + 1e-6
 
-    def test_cap_raise_restores_space_mode(self, config, kmeans, pagerank):
-        mediator = make_mediator(config, cap=80.0)
+    def test_cap_raise_restores_space_mode(self, make_mediator, kmeans, pagerank):
+        mediator = make_mediator(cap=80.0)
         mediator.add_application(pagerank, skip_overhead=True)
         mediator.add_application(kmeans, skip_overhead=True)
         assert mediator.coordinator.plan.mode is CoordinationMode.TIME
@@ -90,9 +80,9 @@ class TestCapChange(object):
 
 
 class TestArrival:
-    def test_arrival_charges_overhead(self, config, kmeans, sssp):
+    def test_arrival_charges_overhead(self, make_mediator, kmeans, sssp):
         """Fig. 11a: the newcomer sits out the ~800 ms settling window."""
-        mediator = make_mediator(config)
+        mediator = make_mediator()
         mediator.add_application(sssp, skip_overhead=True)
         mediator.run_for(2.0)
         mediator.add_application(kmeans)  # overhead charged
@@ -105,9 +95,9 @@ class TestArrival:
         for record in mediator.timeline:
             assert record.wall_w <= 100.0 + 1e-6
 
-    def test_incumbent_power_shrinks_on_arrival(self, config, kmeans, sssp):
+    def test_incumbent_power_shrinks_on_arrival(self, make_mediator, kmeans, sssp):
         """Fig. 11a: SSSP's allocation drops when X264 arrives."""
-        mediator = make_mediator(config)
+        mediator = make_mediator()
         mediator.add_application(sssp, skip_overhead=True)
         mediator.run_for(2.0)
         before = mediator.timeline[-1].app_power_w["sssp"]
@@ -118,10 +108,10 @@ class TestArrival:
 
 
 class TestDeparture:
-    def test_completion_releases_power_to_survivor(self, config, kmeans, pagerank):
+    def test_completion_releases_power_to_survivor(self, make_mediator, kmeans, pagerank):
         """Fig. 11b: the survivor scales up when its peer departs."""
         short = pagerank.with_total_work(12.0)
-        mediator = make_mediator(config)
+        mediator = make_mediator()
         mediator.add_application(kmeans.with_total_work(float("inf")), skip_overhead=True)
         mediator.add_application(short, skip_overhead=True)
         mediator.run_for(1.5)
@@ -134,8 +124,8 @@ class TestDeparture:
         handle = mediator.finished_handle("pagerank")
         assert handle.completed
 
-    def test_forced_removal(self, config, kmeans, pagerank):
-        mediator = make_mediator(config)
+    def test_forced_removal(self, make_mediator, kmeans, pagerank):
+        mediator = make_mediator()
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.add_application(pagerank, skip_overhead=True)
         mediator.run_for(1.0)
@@ -143,34 +133,34 @@ class TestDeparture:
         assert mediator.managed_apps() == ["kmeans"]
         mediator.run_for(1.0)
 
-    def test_unknown_finished_handle_rejected(self, config, kmeans):
-        mediator = make_mediator(config)
+    def test_unknown_finished_handle_rejected(self, make_mediator, kmeans):
+        mediator = make_mediator()
         mediator.add_application(kmeans, skip_overhead=True)
         with pytest.raises(SchedulingError):
             mediator.finished_handle("ghost")
 
 
 class TestPhaseChanges:
-    def test_e4_fires_on_profile_swap(self, config):
+    def test_e4_fires_on_profile_swap(self, make_mediator):
         """A phase boundary changes true power; the Accountant notices."""
         base = CATALOG["kmeans"].with_total_work(30.0)
         lighter = WorkloadProfile.from_dict(
             {**base.to_dict(), "activity_factor": 0.5, "dvfs_sensitivity": 0.3}
         )
         phased = PhasedProfile([(0.0, base), (0.3, lighter)])
-        mediator = make_mediator(config, cap=110.0)
+        mediator = make_mediator(cap=110.0)
         mediator.add_application(base, phased=phased, skip_overhead=True)
         mediator.run_for(15.0)
         kinds = [type(e).__name__ for e in mediator.accountant.event_log]
         assert "PhaseChangeEvent" in kinds
 
-    def test_cap_held_across_phase_change(self, config):
+    def test_cap_held_across_phase_change(self, make_mediator):
         base = CATALOG["stream"].with_total_work(40.0)
         hungrier = WorkloadProfile.from_dict(
             {**base.to_dict(), "mem_gb_per_work": 1.0}
         )
         phased = PhasedProfile([(0.0, base), (0.4, hungrier)])
-        mediator = make_mediator(config, cap=95.0)
+        mediator = make_mediator(cap=95.0)
         mediator.add_application(base, phased=phased, skip_overhead=True)
         mediator.run_for(12.0)
         for record in mediator.timeline:
@@ -178,18 +168,18 @@ class TestPhaseChanges:
 
 
 class TestLearningPath:
-    def test_learned_estimates_stay_within_cap(self, config, kmeans, stream):
+    def test_learned_estimates_stay_within_cap(self, make_mediator, kmeans, stream):
         """The RAPL guard must absorb estimation error."""
-        mediator = make_mediator(config, use_oracle_estimates=False, seed=3)
+        mediator = make_mediator(use_oracle_estimates=False, seed=3)
         mediator.add_application(stream, skip_overhead=True)
         mediator.add_application(kmeans, skip_overhead=True)
         mediator.run_for(3.0)
         for record in mediator.timeline:
             assert record.wall_w <= 100.0 + 1e-6
 
-    def test_learned_allocation_is_competitive(self, config, kmeans, stream):
-        learned = make_mediator(config, use_oracle_estimates=False, seed=3)
-        oracle = make_mediator(config, use_oracle_estimates=True)
+    def test_learned_allocation_is_competitive(self, make_mediator, kmeans, stream):
+        learned = make_mediator(use_oracle_estimates=False, seed=3)
+        oracle = make_mediator(use_oracle_estimates=True)
         for m in (learned, oracle):
             m.add_application(stream, skip_overhead=True)
             m.add_application(kmeans, skip_overhead=True)

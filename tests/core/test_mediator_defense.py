@@ -6,12 +6,9 @@ import json
 import pytest
 
 from repro.adversary.plan import default_adversary_schedule
-from repro.core.mediator import PowerMediator
-from repro.core.policies import make_policy
 from repro.core.simulation import run_mix_experiment
 from repro.core.trust import DefenseConfig, TrustState
 from repro.observability.trace import TraceBus
-from repro.server.server import SimulatedServer
 from repro.workloads.catalog import CATALOG
 
 
@@ -19,16 +16,8 @@ def probe_schedule(start_s=2.0):
     return default_adversary_schedule("stream", kind="probe", start_s=start_s, seed=0)
 
 
-def adversarial_mediator(config, *, adversaries=probe_schedule(), **kwargs):
-    server = SimulatedServer(config)
-    mediator = PowerMediator(
-        server,
-        make_policy("app+res-aware"),
-        108.0,
-        use_oracle_estimates=True,
-        adversaries=adversaries,
-        **kwargs,
-    )
+def adversarial_mediator(make_mediator, *, adversaries=probe_schedule(), **kwargs):
+    mediator = make_mediator(cap=108.0, adversaries=adversaries, **kwargs)
     mediator.add_application(CATALOG["stream"], skip_overhead=True)
     mediator.add_application(CATALOG["kmeans"], skip_overhead=True)
     return mediator
@@ -52,9 +41,9 @@ class TestHonestTransparency:
 
 
 class TestQuarantinePosture:
-    def test_attacker_quarantined_and_instrumented(self, config):
+    def test_attacker_quarantined_and_instrumented(self, make_mediator):
         bus = TraceBus()
-        mediator = adversarial_mediator(config, trace_bus=bus)
+        mediator = adversarial_mediator(make_mediator, trace_bus=bus)
         mediator.run_for(10.0)
 
         assert mediator.trust.state_of("stream") is TrustState.QUARANTINED
@@ -70,8 +59,8 @@ class TestQuarantinePosture:
         assert metrics["counters"]["defense.transitions.quarantined"] >= 1
         assert metrics["gauges"]["defense.quarantined_apps"] == 1.0
 
-    def test_quarantine_suspends_the_attacker(self, config):
-        mediator = adversarial_mediator(config)
+    def test_quarantine_suspends_the_attacker(self, make_mediator):
+        mediator = adversarial_mediator(make_mediator)
         mediator.run_for(10.0)
         # Quarantined tenants are dropped from the plan: the attacker draws
         # nothing while the honest app keeps running under the cap.
@@ -80,25 +69,25 @@ class TestQuarantinePosture:
         assert record.app_power_w["kmeans"] > 0.0
         assert record.wall_w <= 108.0 + 1e-6
 
-    def test_register_adversary_is_idempotent(self, config):
-        mediator = adversarial_mediator(config)
+    def test_register_adversary_is_idempotent(self, make_mediator):
+        mediator = adversarial_mediator(make_mediator)
         (spec,) = probe_schedule().specs
         mediator.register_adversary(spec)  # same spec again: journal replay
         assert mediator.adversary_engine.specs() == [spec]
 
 
 class TestCheckpointFidelity:
-    def test_round_trip_mid_quarantine(self, config):
+    def test_round_trip_mid_quarantine(self, make_mediator):
         """A checkpoint taken while the attacker sits in quarantine restores
         onto a mediator built *without* the adversaries kwarg - the engine
         specs and trust records travel in the state - and the continuation
         is bit-identical."""
-        live = adversarial_mediator(config)
+        live = adversarial_mediator(make_mediator)
         live.run_for(6.0)
         assert live.trust.state_of("stream") is TrustState.QUARANTINED
 
         state = json.loads(json.dumps(live.state_dict()))
-        restored = adversarial_mediator(config, adversaries=None)
+        restored = adversarial_mediator(make_mediator, adversaries=None)
         restored.load_state_dict(state)
         assert restored.trust.state_of("stream") is TrustState.QUARANTINED
         assert restored.adversary_engine.specs() == live.adversary_engine.specs()

@@ -1,0 +1,116 @@
+"""BatchFleet: the fleet-scale batch stepper pinned to looped scalar servers.
+
+``BatchFleet`` advances a whole fleet's engine phase (power breakdown, work
+progression, completion, psys energy) with array ops. Its contract is the
+same as the per-server vector models': *bit-identical* to running one
+scalar :class:`SimulatedServer` per mix and ticking them in a Python loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchFleet
+from repro.errors import ConfigurationError, KnobError, SchedulingError
+from repro.server.config import DEFAULT_SERVER_CONFIG, KnobSetting
+from repro.server.server import SimulatedServer
+from repro.workloads.mixes import get_mix
+
+
+def _scalar_fleet(mixes, *, total_work: float):
+    servers = []
+    for mix in mixes:
+        server = SimulatedServer(DEFAULT_SERVER_CONFIG, seed=0)
+        for profile in sorted(mix.profiles(), key=lambda p: p.name):
+            server.admit(profile.with_total_work(total_work))
+        servers.append(server)
+    return servers
+
+
+@pytest.mark.parametrize("n_ticks", [1, 50, 400])
+def test_batch_fleet_matches_scalar_servers_bitwise(n_ticks: int):
+    mixes = [get_mix(1 + (i % 15)) for i in range(12)]
+    servers = _scalar_fleet(mixes, total_work=30.0)
+    fleet = BatchFleet(
+        DEFAULT_SERVER_CONFIG,
+        mixes=[[p.with_total_work(30.0) for p in m.profiles()] for m in mixes],
+    )
+
+    results = None
+    for _ in range(n_ticks):
+        results = [server.tick(0.1) for server in servers]
+    fleet.advance(n_ticks)
+
+    scalar_wall = np.array([r.breakdown.wall_w for r in results])
+    assert np.array_equal(scalar_wall, fleet.wall_power_w())
+    scalar_energy = np.array([s.rapl.read_energy_j("psys") for s in servers])
+    assert np.array_equal(scalar_energy, fleet.energy_j())
+    for i, (server, mix) in enumerate(zip(servers, mixes)):
+        for profile in mix.profiles():
+            handle = server.handle_of(profile.name)
+            assert fleet.work_done(i, profile.name) == handle.work_done
+            assert fleet.is_active(i, profile.name) == (not handle.completed)
+
+
+def test_batch_fleet_tracks_knob_changes_bitwise():
+    """Mid-run knob writes (what a mediator does every reallocation) keep
+    the fleet pinned to the scalar servers."""
+    mixes = [get_mix(3), get_mix(10)]
+    servers = _scalar_fleet(mixes, total_work=float("inf"))
+    fleet = BatchFleet(
+        DEFAULT_SERVER_CONFIG,
+        mixes=[list(m.profiles()) for m in mixes],
+    )
+    throttled = KnobSetting(1.5, 3, 6.0)
+    for _ in range(20):
+        for server in servers:
+            server.tick(0.1)
+    fleet.advance(20)
+    target = sorted(mixes[1].names())[0]
+    servers[1].knobs.set_knob(target, throttled)
+    fleet.set_knob(1, target, throttled)
+    assert fleet.knob_of(1, target) == throttled
+    results = None
+    for _ in range(30):
+        results = [server.tick(0.1) for server in servers]
+    fleet.advance(30)
+    scalar_wall = np.array([r.breakdown.wall_w for r in results])
+    assert np.array_equal(scalar_wall, fleet.wall_power_w())
+
+
+def test_batch_fleet_completion_deactivates_apps():
+    fleet = BatchFleet(
+        DEFAULT_SERVER_CONFIG,
+        mixes=[[p.with_total_work(0.5) for p in get_mix(1).profiles()]],
+    )
+    fleet.advance(500)
+    for name in get_mix(1).names():
+        assert not fleet.is_active(0, name)
+        assert fleet.work_done(0, name) == 0.5
+    before = fleet.wall_power_w().copy()
+    fleet.tick()
+    # A fully-drained server idles at exactly idle + chassis-management.
+    cfg = DEFAULT_SERVER_CONFIG
+    assert fleet.wall_power_w()[0] == (cfg.p_idle_w + cfg.p_cm_w) + 0.0
+    assert np.array_equal(before, fleet.wall_power_w())
+
+
+def test_batch_fleet_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        BatchFleet(DEFAULT_SERVER_CONFIG, mixes=[])
+    with pytest.raises(ConfigurationError):
+        BatchFleet(
+            DEFAULT_SERVER_CONFIG, mixes=[list(get_mix(1).profiles())], dt_s=0.0
+        )
+    profiles = list(get_mix(1).profiles())
+    with pytest.raises(SchedulingError):
+        BatchFleet(DEFAULT_SERVER_CONFIG, mixes=[profiles + [profiles[0]]])
+
+
+def test_batch_fleet_rejects_unknown_apps_and_off_grid_knobs():
+    fleet = BatchFleet(DEFAULT_SERVER_CONFIG, mixes=[list(get_mix(1).profiles())])
+    with pytest.raises(SchedulingError):
+        fleet.work_done(0, "no-such-app")
+    with pytest.raises(KnobError):
+        fleet.set_knob(0, sorted(get_mix(1).names())[0], KnobSetting(9.9, 1, 3.0))

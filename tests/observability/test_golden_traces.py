@@ -1,5 +1,7 @@
 """Golden-trace regression: the three pinned Table II runs (one per
-coordination regime) must replay to their recorded content hashes.
+coordination regime) must replay to their recorded content hashes - once
+under the scalar reference engine and once under the vector fast path,
+whose specs record the *same* hashes (the engines are bit-identical).
 
 When a change intentionally moves behaviour, regenerate the file and review
 its diff::
@@ -20,11 +22,33 @@ SPECS = load_specs(GOLDEN)
 
 
 def test_golden_file_pins_all_three_regimes():
-    assert {spec.regime for spec in SPECS} == {"space", "time", "esd"}
+    for engine in ("scalar", "vector"):
+        regimes = {spec.regime for spec in SPECS if spec.engine == engine}
+        assert regimes == {"space", "time", "esd"}, (
+            f"the {engine} engine must pin all three Table II regimes"
+        )
     assert all(spec.trace_hash for spec in SPECS), (
         "golden file has unrecorded specs; run the regen command in this "
         "module's docstring"
     )
+
+
+def test_vector_specs_record_the_scalar_hashes():
+    """The equivalence contract, expressed in the golden file itself: every
+    vector spec pins the exact hash its scalar twin pins."""
+    scalar = {
+        (s.mix_id, s.policy, s.p_cap_w, s.seed): s.trace_hash
+        for s in SPECS
+        if s.engine == "scalar"
+    }
+    vector = [s for s in SPECS if s.engine == "vector"]
+    assert vector, "golden file lost its vector specs"
+    for spec in vector:
+        key = (spec.mix_id, spec.policy, spec.p_cap_w, spec.seed)
+        assert spec.trace_hash == scalar[key], (
+            f"{spec.name}: vector hash diverged from its scalar twin - the "
+            "engines are no longer bit-identical"
+        )
 
 
 @pytest.mark.parametrize("spec", SPECS, ids=[s.name for s in SPECS])

@@ -9,17 +9,8 @@ from repro.persistence.segments import read_segmented
 from repro.service import MediatorService, ServiceConfig, ServiceKilled
 from repro.workloads import BurstWindow
 
-# Small, fast recipe: modest load, tight checkpoint cadence.
-CFG = dict(
-    rate_per_s=0.4,
-    clients=3,
-    ingest_capacity=6,
-    drain_per_tick=2,
-    cap_levels=(90.0, 105.0),
-    cap_change_every_s=8.0,
-    checkpoint_every_ticks=50,
-    telemetry_every_ticks=20,
-)
+# The small, fast recipe lives in the shared ``service_cfg`` fixture
+# (tests/conftest.py); tests override individual keys inline.
 
 
 def test_config_validation():
@@ -37,8 +28,8 @@ def test_config_validation():
         ServiceConfig(overload_enter_fraction=0.3, overload_exit_fraction=0.5)
 
 
-def test_open_loop_run_admits_and_completes_jobs(tmp_path):
-    config = ServiceConfig(**{**CFG, "work_scale": 0.02})
+def test_open_loop_run_admits_and_completes_jobs(service_cfg, tmp_path):
+    config = ServiceConfig(**{**service_cfg, "work_scale": 0.02})
     service = MediatorService(config, tmp_path)
     service.run_for_ticks(400)
     service.close()
@@ -50,8 +41,8 @@ def test_open_loop_run_admits_and_completes_jobs(tmp_path):
     assert counters["service.sessions.deliveries"] > 0
 
 
-def test_cap_schedule_flows_through_the_safety_lane(tmp_path):
-    config = ServiceConfig(**CFG)
+def test_cap_schedule_flows_through_the_safety_lane(service_cfg, tmp_path):
+    config = ServiceConfig(**service_cfg)
     service = MediatorService(config, tmp_path)
     service.run_for_ticks(200)  # cap changes at ticks 80 and 160
     service.close()
@@ -64,9 +55,9 @@ def test_cap_schedule_flows_through_the_safety_lane(tmp_path):
     assert provisioner.next_seq >= 2
 
 
-def test_identical_runs_hash_identically(tmp_path):
-    a = MediatorService(ServiceConfig(**CFG), tmp_path / "a")
-    b = MediatorService(ServiceConfig(**CFG), tmp_path / "b")
+def test_identical_runs_hash_identically(service_cfg, tmp_path):
+    a = MediatorService(ServiceConfig(**service_cfg), tmp_path / "a")
+    b = MediatorService(ServiceConfig(**service_cfg), tmp_path / "b")
     a.run_for_ticks(150)
     b.run_for_ticks(150)
     a.close()
@@ -75,8 +66,8 @@ def test_identical_runs_hash_identically(tmp_path):
     assert dict(a.metrics.counters()) == dict(b.metrics.counters())
 
 
-def test_journal_records_the_command_stream(tmp_path):
-    service = MediatorService(ServiceConfig(**CFG), tmp_path)
+def test_journal_records_the_command_stream(service_cfg, tmp_path):
+    service = MediatorService(ServiceConfig(**service_cfg), tmp_path)
     service.run_for_ticks(120)
     service.close()
     records = read_segmented(service.journal_dir)
@@ -93,8 +84,8 @@ def test_journal_records_the_command_stream(tmp_path):
     assert indices == sorted(indices)
 
 
-def test_kill_and_warm_restart_is_invisible_in_the_stream(tmp_path):
-    baseline = MediatorService(ServiceConfig(**CFG), tmp_path / "base")
+def test_kill_and_warm_restart_is_invisible_in_the_stream(service_cfg, tmp_path):
+    baseline = MediatorService(ServiceConfig(**service_cfg), tmp_path / "base")
     baseline.run_for_ticks(160)
     baseline.close()
 
@@ -104,7 +95,7 @@ def test_kill_and_warm_restart_is_invisible_in_the_stream(tmp_path):
             raise ServiceKilled("chaos")
 
     chaos = MediatorService(
-        ServiceConfig(**CFG),
+        ServiceConfig(**service_cfg),
         tmp_path / "chaos",
         tick_hook=killer,
         tear_journal_bytes_on_crash=128,
@@ -123,9 +114,9 @@ def test_kill_and_warm_restart_is_invisible_in_the_stream(tmp_path):
         assert counters.get(name) == base_counters.get(name), name
 
 
-def test_block_policy_defers_bursts_without_loss(tmp_path):
+def test_block_policy_defers_bursts_without_loss(service_cfg, tmp_path):
     config = ServiceConfig(
-        **{**CFG, "backpressure": "block", "ingest_capacity": 3, "drain_per_tick": 1,
+        **{**service_cfg, "backpressure": "block", "ingest_capacity": 3, "drain_per_tick": 1,
            "overload_drain_per_tick": 1,
            "bursts": (BurstWindow(2.0, 5.0, 60.0),)},
     )
@@ -140,8 +131,8 @@ def test_block_policy_defers_bursts_without_loss(tmp_path):
     assert counters["service.ingest.accepted"] > 0
 
 
-def test_run_for_ticks_validates(tmp_path):
-    service = MediatorService(ServiceConfig(**CFG), tmp_path)
+def test_run_for_ticks_validates(service_cfg, tmp_path):
+    service = MediatorService(ServiceConfig(**service_cfg), tmp_path)
     with pytest.raises(ConfigurationError):
         service.run_for_ticks(0)
     service.close()
