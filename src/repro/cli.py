@@ -838,6 +838,32 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"other: {summary['other']} events of unrecognized kinds")
     if summary["modes"]:
         print("modes: " + ", ".join(f"{m}={n}" for m, n in summary["modes"].items()))
+    if getattr(args, "metrics", None):
+        # Wall-clock lives in the metrics JSON, never on the trace bus (it
+        # would break hash determinism), so pairing the two files here is
+        # the only place a run's hot phases appear next to its events.
+        try:
+            with open(args.metrics, encoding="utf-8") as fh:
+                profile = json.load(fh).get("profile", {})
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot read metrics file {args.metrics}: {exc.strerror}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(
+                f"metrics file {args.metrics} is not valid JSON: {exc}"
+            ) from exc
+        top = sorted(profile.items(), key=lambda kv: -kv[1].get("total_s", 0.0))[:3]
+        if top:
+            print("hottest phases (from " + args.metrics + "):")
+            for name, stat in top:
+                print(
+                    f"  {name}: {stat.get('total_s', 0.0):.3f} s over "
+                    f"{stat.get('calls', 0)} calls "
+                    f"(p95 {stat.get('p95_s', 0.0) * 1e6:.1f} us/call)"
+                )
+        else:
+            print(f"no phase profile found in {args.metrics}")
     print(f"verified ok; sha256 {summary['hash']}")
     return 0
 
@@ -1160,6 +1186,12 @@ def build_parser() -> argparse.ArgumentParser:
         "action", choices=["summarize"], help="what to do with the trace"
     )
     p_trace.add_argument("path", help="trace file written by --trace-out")
+    p_trace.add_argument(
+        "--metrics",
+        default=None,
+        help="companion metrics JSON (--metrics-out); prints the run's "
+        "top-3 hottest control-loop phases with call counts and p95",
+    )
     p_trace.set_defaults(func=cmd_trace)
 
     return parser

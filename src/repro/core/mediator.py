@@ -259,6 +259,7 @@ class PowerMediator:
         trace_bus: TraceBus | None = None,
         adversaries: AdversarySchedule | None = None,
         defense: DefenseConfig | None = None,
+        oracle_cache: dict | None = None,
     ) -> None:
         if dt_s <= 0:
             raise ConfigurationError("dt_s must be positive")
@@ -290,6 +291,12 @@ class PowerMediator:
             if corpus is not None
             else build_exhaustive_corpus(server.config, list(CATALOG.values()))
         )
+        #: Optional fleet-wide cache of oracle CandidateSets, keyed by
+        #: (profile, config, width-restriction). CandidateSet construction is
+        #: pure and deterministic, so identical servers running the same
+        #: workload share one set instead of rebuilding it per mediator at
+        #: every allocation epoch. Pass one dict to every mediator in a fleet.
+        self._oracle_cache = oracle_cache
         self._estimator: CollaborativeEstimator | None = None
         self._population: CandidateSet | None = None
         self._estimates: dict[str, CandidateSet] = {}
@@ -401,6 +408,18 @@ class PowerMediator:
         self._metrics.gauge("mediator.managed_apps").set(float(len(self._managed)))
         if self._battery is not None:
             self._metrics.gauge("esd.soc").set(self._battery.soc)
+        # Vector models count scalar-superclass fallbacks (off-grid queries
+        # that silently bypass the fast path). Sync them into the registry so
+        # they show up in metrics instead of only as mystery slowdowns. The
+        # counter is created on first fallback only: honest on-grid runs keep
+        # a registry identical to the scalar engine's.
+        fallbacks = getattr(self._server.perf_model, "fallbacks", 0) + getattr(
+            self._server.power_model, "fallbacks", 0
+        )
+        if fallbacks:
+            counter = self._metrics.counter("engine.fallback")
+            if fallbacks > counter.value:
+                counter.inc(fallbacks - counter.value)
         doc = self._metrics.to_json()
         doc["profile"] = self._profiler.report()
         return doc
@@ -1377,14 +1396,27 @@ class PowerMediator:
             profile = self._managed[app].profile
             config = self._server.config
             width = self._server.topology.group_of(app).width
-            oracle = CandidateSet.from_models(
-                profile, config, power_model=self._server.power_model
-            )
-            if width < config.cores_max:
-                oracle = oracle.subset(
-                    [i for i, k in enumerate(oracle.knobs) if k.cores <= width],
-                    rebase_nocap=True,
+            cache_key = None
+            oracle = None
+            if self._oracle_cache is not None:
+                # Fleet-wide reuse: the oracle set is a pure function of
+                # (profile, config, width restriction) - frozen, hashable
+                # values - so allocation epochs across a whole fleet build
+                # each distinct CandidateSet once. The sets are treated as
+                # read-only by every consumer.
+                cache_key = (profile, config, width if width < config.cores_max else None)
+                oracle = self._oracle_cache.get(cache_key)
+            if oracle is None:
+                oracle = CandidateSet.from_models(
+                    profile, config, power_model=self._server.power_model
                 )
+                if width < config.cores_max:
+                    oracle = oracle.subset(
+                        [i for i, k in enumerate(oracle.knobs) if k.cores <= width],
+                        rebase_nocap=True,
+                    )
+                if cache_key is not None:
+                    self._oracle_cache[cache_key] = oracle
             self._oracle[app] = oracle
             if self._use_oracle or not self._policy.needs_learning:
                 self._estimates[app] = oracle

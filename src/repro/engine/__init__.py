@@ -12,6 +12,12 @@ Two layers:
 * **Batch fleet** (:mod:`repro.engine.batch`): N servers advanced per tick
   with array operations, for fleet-scale throughput
   (``benchmarks/bench_engine_throughput.py``).
+* **Mediated fleet** (:mod:`repro.engine.planner`): whole *mediated* ticks —
+  planning stack included — replayed in horizon segments with closed-form
+  accumulator kernels (``benchmarks/bench_mediator_throughput.py``).
+  Exported lazily: the planner imports the mediator, which imports the
+  server, which imports this package, so a top-level import here would be
+  circular.
 
 The scalar path remains the golden reference; the vector path exists to make
 it affordable at scale, never to redefine it.
@@ -28,6 +34,7 @@ __all__ = [
     "ENGINE_KINDS",
     "BatchFleet",
     "ConfigGrid",
+    "MediatedFleet",
     "ResponseSurface",
     "VectorPerformanceModel",
     "VectorPowerModel",
@@ -35,6 +42,16 @@ __all__ = [
     "surface_for",
     "validate_engine",
 ]
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy export: break the engine -> planner -> mediator ->
+    # server -> engine import cycle by resolving MediatedFleet on first use.
+    if name == "MediatedFleet":
+        from repro.engine.planner import MediatedFleet
+
+        return MediatedFleet
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: The engine switch's accepted values, in reference-first order.
 ENGINE_KINDS = ("scalar", "vector")

@@ -34,6 +34,10 @@ class VectorPerformanceModel(PerformanceModel):
     def __init__(self, config: ServerConfig) -> None:
         super().__init__(config)
         self._grid: ConfigGrid = grid_for(config)
+        #: Off-grid queries answered by the scalar superclass. Every unit
+        #: here is a silent fast-path bypass; the mediator surfaces the sum
+        #: as the ``engine.fallback`` metrics counter.
+        self.fallbacks = 0
 
     @property
     def grid(self) -> ConfigGrid:
@@ -49,30 +53,35 @@ class VectorPerformanceModel(PerformanceModel):
     def compute_rate(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().compute_rate(profile, knob)
         return float(self._grid.surface(profile).compute_rate[idx])
 
     def usable_bandwidth_gbs(self, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().usable_bandwidth_gbs(knob)
         return float(self._grid.usable_bandwidth_gbs[idx])
 
     def memory_rate(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().memory_rate(profile, knob)
         return float(self._grid.surface(profile).memory_rate[idx])
 
     def rate(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().rate(profile, knob)
         return float(self._grid.surface(profile).rate[idx])
 
     def core_utilization(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().core_utilization(profile, knob)
         return float(self._grid.surface(profile).core_utilization[idx])
 
@@ -81,6 +90,7 @@ class VectorPerformanceModel(PerformanceModel):
     ) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().achieved_bandwidth_gbs(profile, knob)
         return float(self._grid.surface(profile).achieved_bandwidth_gbs[idx])
 
@@ -103,6 +113,9 @@ class VectorPowerModel(PowerModel):
             perf_model = VectorPerformanceModel(config)
         super().__init__(config, perf_model)
         self._grid: ConfigGrid = grid_for(config)
+        #: Off-grid queries answered by the scalar superclass (see
+        #: :class:`VectorPerformanceModel`.fallbacks).
+        self.fallbacks = 0
 
     def surface_of(self, profile: WorkloadProfile) -> ResponseSurface:
         """The profile's cached surface (the learn-path batch hook:
@@ -113,17 +126,20 @@ class VectorPowerModel(PowerModel):
     def core_power_w(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().core_power_w(profile, knob)
         return float(self._grid.surface(profile).core_power_w[idx])
 
     def dram_power_w(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().dram_power_w(profile, knob)
         return float(self._grid.surface(profile).dram_power_w[idx])
 
     def app_power_w(self, profile: WorkloadProfile, knob: KnobSetting) -> float:
         idx = self._grid.index_of(knob)
         if idx is None:
+            self.fallbacks += 1
             return super().app_power_w(profile, knob)
         return float(self._grid.surface(profile).app_power_w[idx])

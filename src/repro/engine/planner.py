@@ -1,0 +1,684 @@
+"""Batched mediator-in-the-loop stepping: :class:`MediatedFleet`.
+
+PR 8's :class:`~repro.engine.batch.BatchFleet` vectorized the *engine*
+phase, but a mediated tick still walks the whole planning stack —
+coordination, telemetry readback, heartbeat aggregation, cap policing,
+defense scoring, event polling — in per-server Python, so end-to-end
+runs capture only a sliver of the engine speedup. This module promotes
+those phases into the batch path under the DESIGN.md §13 rules.
+
+The key observation is that a mediated fleet in *steady state* (no
+faults, no plan epochs, no phase edges, no trust transitions, no
+arrivals/departures) executes ticks whose per-tick quantities are either
+constant or constant-increment accumulators:
+
+* simulated time, per-app work done, heartbeat totals, histogram sums,
+  battery charge ledgers, ESD phase elapsed, PC6 residency — all of the
+  form ``s += c`` with a constant ``c``;
+* trust scores under zero violations — ``s *= decay``;
+* RAPL energy counters — ``s = (s + c) % wrap``.
+
+``np.cumsum`` / ``np.cumprod`` accumulate strictly sequentially in C, so
+for a constant increment they reproduce the scalar fold *bit for bit*
+(``tests/engine/test_planner.py`` pins this property directly).  The RAPL
+modulo is handled by segmenting the cumsum at each (rare) wrap: ``fmod``
+is exact, and for ``W <= x < 2W`` the float subtraction ``x - W`` equals
+``fmod(x, W)`` exactly.
+
+:class:`MediatedFleet` therefore advances each mediator in *horizon
+segments*: it evaluates a set of steady-state entry gates, computes a
+conservative tick horizon over which no branchy decision can fire
+(completion, duty-phase edge, battery clip, E4 deviation threshold,
+defense cooldown expiry, cap breach), replays that many ticks with the
+closed-form kernel, and materializes exactly the state the scalar loop
+would have produced — timeline records, metrics, heartbeat windows,
+trust records, accountant counters, battery ledgers and all.  Whenever a
+gate fails or the horizon is short, it falls back to the scalar
+:meth:`~repro.core.mediator.PowerMediator.step` for one tick, so the
+fleet is *always* bit-identical to a plain Python loop over its
+mediators; the gates only decide how fast it gets there.
+
+Rejected promotions (kept scalar by design, per §13): TIME-mode slot
+rotation (branchy per-edge actuation with a carry-over elapsed cursor),
+duty-cycle phase edges themselves, quarantine transitions, and every
+fault/adversary/trace-active path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.coordinator import CoordinationMode
+from repro.core.mediator import PowerMediator, TickRecord
+from repro.core.trust import TrustState
+from repro.errors import ConfigurationError
+from repro.esd.controller import Phase
+from repro.observability.trace import NULL_TRACE_BUS
+from repro.server.heartbeats import HeartbeatRecord
+from repro.server.sleep import SleepState
+
+__all__ = ["MediatedFleet", "MIN_FAST_TICKS", "MAX_SEGMENT_TICKS"]
+
+#: Below this many safe ticks the flush overhead beats the win: go scalar.
+MIN_FAST_TICKS = 8
+
+#: Upper bound on one fast segment (keeps work arrays small and bounded).
+MAX_SEGMENT_TICKS = 4096
+
+#: Stop this many ticks before any predicted branch point; the scalar
+#: path then walks through the edge itself.
+_HORIZON_MARGIN = 2
+
+
+def _seq_add(start: float, step: float, k: int) -> np.ndarray:
+    """The fl-sequential fold ``start, start+step, ...`` (length ``k+1``).
+
+    ``np.cumsum`` accumulates left-to-right in C, so ``out[i]`` is exactly
+    the float the scalar loop holds after ``i`` repetitions of ``s += step``.
+    """
+    arr = np.empty(k + 1)
+    arr[0] = start
+    arr[1:] = step
+    return np.cumsum(arr)
+
+
+def _seq_add_final(start: float, step: float, k: int) -> float:
+    return float(_seq_add(start, step, k)[-1])
+
+
+def _seq_mul_final(start: float, factor: float, k: int) -> float:
+    """Final value of ``k`` sequential ``s *= factor`` folds."""
+    arr = np.empty(k + 1)
+    arr[0] = start
+    arr[1:] = factor
+    return float(np.cumprod(arr)[-1])
+
+
+def _rapl_march(e0: float, step_j: float, wrap_j: float, k: int) -> np.ndarray:
+    """Per-tick counter values of ``k`` folds of ``e = (e + step) % wrap``.
+
+    Requires ``0 <= step_j < wrap_j`` (callers gate on it): then each fold
+    wraps at most once, ``%`` reduces to an exact ``x - wrap`` for
+    ``wrap <= x < 2*wrap``, and the cumsum can simply be restarted at the
+    folded value after each (rare) wrap.
+    """
+    arr = np.empty(k + 1)
+    arr[0] = e0
+    arr[1:] = step_j
+    np.cumsum(arr, out=arr)
+    start = 1
+    while True:
+        over = np.nonzero(arr[start:] >= wrap_j)[0]
+        if over.size == 0:
+            break
+        j = start + int(over[0])
+        arr[j] = arr[j] - wrap_j
+        if j < k:
+            arr[j + 1 :] = step_j
+            arr[j:] = np.cumsum(arr[j:])
+        start = j + 1
+    return arr[1:]
+
+
+def _flush_histogram(hist, value: float, k: int) -> None:
+    """What ``k`` repeated ``hist.observe(value)`` calls would leave behind."""
+    value = float(value)
+    hist._window.extend([value] * k)  # deque(maxlen=...) keeps the tail
+    hist.count += k
+    hist.total = _seq_add_final(hist.total, value, k)
+    if value < hist.minimum:
+        hist.minimum = value
+    if value > hist.maximum:
+        hist.maximum = value
+
+
+class MediatedFleet:
+    """Advance many :class:`PowerMediator` instances through the fast path.
+
+    Semantically equivalent to ``for m in mediators: m.run_for(...)`` —
+    and pinned bit-identical to it by the differential suite — but steady
+    stretches are replayed with the vectorized horizon kernel instead of
+    per-tick Python.
+
+    Args:
+        mediators: The fleet; each mediator is advanced independently.
+        min_fast_ticks: Smallest horizon worth entering the fast path for.
+        max_segment_ticks: Cap on a single fast segment.
+
+    Attributes:
+        fast_ticks / scalar_ticks: How many ticks each path executed.
+        fast_segments: Number of fast segments replayed.
+        demotions: ``{reason: count}`` — why scalar ticks happened; the
+            first failing entry gate (or ``"short-horizon"``) is charged.
+    """
+
+    def __init__(
+        self,
+        mediators: Iterable[PowerMediator],
+        *,
+        min_fast_ticks: int = MIN_FAST_TICKS,
+        max_segment_ticks: int = MAX_SEGMENT_TICKS,
+    ) -> None:
+        self._mediators: list[PowerMediator] = list(mediators)
+        if not self._mediators:
+            raise ConfigurationError("MediatedFleet needs at least one mediator")
+        for m in self._mediators:
+            if not isinstance(m, PowerMediator):
+                raise ConfigurationError(
+                    f"MediatedFleet manages PowerMediator instances, got {type(m).__name__}"
+                )
+        if min_fast_ticks < 1:
+            raise ConfigurationError("min_fast_ticks must be >= 1")
+        if max_segment_ticks < min_fast_ticks:
+            raise ConfigurationError("max_segment_ticks must be >= min_fast_ticks")
+        self._min_fast = int(min_fast_ticks)
+        self._max_segment = int(max_segment_ticks)
+        self.fast_ticks = 0
+        self.scalar_ticks = 0
+        self.fast_segments = 0
+        self.demotions: dict[str, int] = {}
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def mediators(self) -> Sequence[PowerMediator]:
+        return self._mediators
+
+    @property
+    def fast_fraction(self) -> float:
+        """Share of executed ticks that went through the fast path."""
+        total = self.fast_ticks + self.scalar_ticks
+        return self.fast_ticks / total if total else 0.0
+
+    # -------------------------------------------------------------- stepping
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance every mediator by ``duration_s`` simulated seconds.
+
+        Mediators are independent single-server control loops, so each is
+        advanced to its own end time in turn — exactly what a Python loop
+        over ``PowerMediator.run_for`` does.
+
+        Raises:
+            ConfigurationError: on a non-positive duration.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        for m in self._mediators:
+            self._advance(m, m.server.now_s + duration_s)
+
+    def step_all(self) -> None:
+        """One scalar tick on every mediator (the supervisor-grade unit)."""
+        for m in self._mediators:
+            m.step()
+            self.scalar_ticks += 1
+
+    def _advance(self, m: PowerMediator, end_s: float) -> None:
+        while m.server.now_s < end_s - 1e-9:
+            executed, reason = self._try_fast_segment(m, end_s)
+            if executed:
+                self.fast_ticks += executed
+                self.fast_segments += 1
+            else:
+                self.demotions[reason] = self.demotions.get(reason, 0) + 1
+                m.step()
+                self.scalar_ticks += 1
+
+    # ------------------------------------------------------------- fast path
+
+    def _try_fast_segment(self, m: PowerMediator, end_s: float) -> tuple[int, str]:
+        """Replay as many steady ticks as provably safe; ``(0, reason)`` if none.
+
+        The method first checks the *entry gates* — conditions under which
+        a scalar tick is pure steady-state replay — then derives a
+        conservative horizon from every branch the scalar loop could take,
+        and finally materializes the k-tick segment in closed form.
+        """
+        dt = m._dt_s
+        server = m._server
+
+        # --- global entry gates: anything event-driven forces scalar ticks.
+        if m._injector is not None:
+            return 0, "fault-injector"
+        if m._adversary.specs():
+            return 0, "adversary"
+        if m._trace is not NULL_TRACE_BUS:
+            return 0, "trace-attached"
+        if m._calibration_pending_s > 0:
+            return 0, "calibration"
+        if m._safe_hold_ticks > 0:
+            return 0, "safe-hold"
+        if m._breach_last_tick:
+            return 0, "breach-recovery"
+        if m._watchdog.degraded:
+            return 0, "watchdog-degraded"
+        if server.knobs.failed_writes() or m._retrier._pending or m._actuation_faulted:
+            return 0, "actuation-retry"
+        hb = server._heartbeats
+        if hb.in_blackout:
+            return 0, "hb-blackout"
+        plan = m._coordinator._plan
+        if plan is None:
+            return 0, "no-plan"
+        mode = plan.mode
+        if mode is CoordinationMode.TIME:
+            # Rejected promotion (DESIGN.md §13): slot rotation actuates
+            # knobs on every slot edge through a carry-over elapsed cursor.
+            return 0, "time-rotation"
+        if not m._timeline:
+            return 0, "cold-start"
+        sleep = server._sleep
+        if sleep._pending_wake_penalty_s != 0.0:
+            return 0, "wake-penalty"
+        if server._parasitic_w or server._hb_inflation:
+            return 0, "co-tenant-hooks"
+        handles = server._handles
+        for handle in handles.values():
+            if handle.hung:
+                return 0, "hung-app"
+            if handle.resume_debt_s != 0.0:
+                return 0, "resume-debt"
+        for managed in m._managed.values():
+            if managed.phased is not None:
+                return 0, "phase-schedule"
+        for name in handles:
+            if name not in hb._last_emit_s:
+                return 0, "cold-start"
+        if m._last_psys_energy_j != server.rapl.read_energy_j("psys"):
+            return 0, "telemetry-resync"
+
+        battery = m._battery
+        coord = m._coordinator
+        active = server.active_applications()
+
+        # --- per-mode coordinator action + battery/phase horizon constants.
+        charge_w = 0.0
+        discharge_w = 0.0
+        deep_sleep = False
+        batt_delta_j = 0.0  # per-tick _stored_j increment (signed, exact)
+        batt_charged_j = 0.0
+        batt_stored_j = 0.0
+        batt_discharged_j = 0.0
+        phase_horizon: float = math.inf
+        batt_horizon: float = math.inf
+        esd = None
+
+        if mode is CoordinationMode.SPACE:
+            if sleep._state is not SleepState.ACTIVE:
+                return 0, "sleep-state"
+        elif mode is CoordinationMode.IDLE:
+            if active:
+                return 0, "idle-active-apps"
+            if sleep._state is not SleepState.PC6:
+                return 0, "sleep-state"
+            deep_sleep = True
+        else:  # ESD duty cycle
+            esd = coord._esd
+            if esd is None or battery is None or esd._battery is not battery:
+                return 0, "esd-wiring"
+            if not battery._available:
+                return 0, "battery-unavailable"
+            cycle = esd._cycle
+            elapsed0 = esd._phase_elapsed_s
+            if esd._phase is Phase.OFF:
+                if coord._esd_on or cycle.off_s <= 0:
+                    return 0, "esd-edge"
+                if active:
+                    return 0, "esd-active-in-off"
+                if sleep._state is not SleepState.PC6:
+                    return 0, "sleep-state"
+                deep_sleep = True
+                phase_horizon = math.floor((cycle.off_s - elapsed0) / dt) - _HORIZON_MARGIN
+                admissible = battery.admissible_charge_w(cycle.charge_w)
+                eff = battery._efficiency
+                storable_j = min(eff * admissible * dt, battery.headroom_j)
+                if storable_j > 0.0:
+                    if storable_j != eff * admissible * dt:
+                        return 0, "battery-clip"  # partial fill: scalar walks the edge
+                    wall_j = storable_j / eff
+                    charge_w = wall_j / dt
+                    batt_delta_j = storable_j
+                    batt_charged_j = wall_j
+                    batt_stored_j = storable_j
+                    batt_horizon = (
+                        math.floor(battery.headroom_j / storable_j) - _HORIZON_MARGIN
+                    )
+                # else: battery full (or zero admissible) — zero-flow banking.
+            else:  # Phase.ON
+                if not coord._esd_on:
+                    return 0, "esd-edge"
+                if sleep._state is not SleepState.ACTIVE:
+                    return 0, "sleep-state"
+                required_w = coord._esd_required_w(dt)
+                if cycle.off_s > 0:
+                    phase_horizon = (
+                        math.floor((cycle.on_s - elapsed0) / dt) - _HORIZON_MARGIN
+                    )
+                if required_w > 0.0:
+                    if required_w > battery._max_discharge_w:
+                        return 0, "esd-underpowered"
+                    deliverable_j = min(required_w * dt, battery.usable_j)
+                    if deliverable_j != required_w * dt:
+                        return 0, "battery-clip"
+                    discharge_w = deliverable_j / dt
+                    batt_delta_j = -deliverable_j
+                    batt_discharged_j = deliverable_j
+                    # Extra margin: can_boost also needs usable_j/dt > target.
+                    batt_horizon = (
+                        math.floor(battery.usable_j / deliverable_j)
+                        - 2 * _HORIZON_MARGIN
+                    )
+
+        # --- engine constants: running set, work rates, completion horizon.
+        knobs = server._knobs
+        running = {
+            name: (handles[name].profile, knobs.knob_of(name)) for name in active
+        }
+        completion_horizon: float = math.inf
+        work_per_app: dict[str, float] = {}
+        for name, (profile, knob) in running.items():
+            work = server._perf.rate(profile, knob) * dt  # useful_s == dt exactly
+            work_per_app[name] = work
+            remaining = handles[name].remaining_work
+            if work > 0.0 and math.isfinite(remaining):
+                completion_horizon = min(
+                    completion_horizon, math.floor(remaining / work) - _HORIZON_MARGIN
+                )
+
+        breakdown = server._power.server_breakdown(
+            running,
+            esd_charge_w=charge_w,
+            esd_discharge_w=discharge_w,
+            deep_sleep=deep_sleep and not active,
+        )
+        wall_w = breakdown.wall_w
+        cap_w = m.p_cap_w
+        if wall_w > cap_w + 1e-6:
+            return 0, "cap-breach"
+
+        # --- defense constants: a steady tick must be violation-free and
+        # transition-free for every tenant, with the efficiency check either
+        # statically unfirable or held off by the fingerprint cooldown.
+        trust = m._trust
+        defense_on = bool(trust.config.enabled and m._managed)
+        defense_horizon: float = math.inf
+        trust_flush: list[tuple[object, int]] = []  # (record, cooldown0)
+        if defense_on:
+            cfg = trust.config
+            for record in trust._records.values():
+                if record.state is not TrustState.TRUSTED:
+                    return 0, "trust-state"
+            window_s = hb._window_s
+            for name in sorted(m._managed):
+                managed = m._managed[name]
+                knob = knobs.knob_of(name)
+                run_flag = name in breakdown.app_w
+                fingerprint = (knob.freq_ghz, knob.cores, knob.dram_power_w, run_flag, -1)
+                record = trust._records.get(name)
+                if record is None:
+                    return 0, "trust-cold"
+                if record.fingerprint != fingerprint:
+                    return 0, "trust-fingerprint"
+                if not record.score < cfg.suspect_threshold:
+                    return 0, "trust-score"
+                if run_flag:
+                    attributed = breakdown.app_w.get(name, 0.0)
+                    expected = server.power_model.app_power_w(managed.profile, knob)
+                    if attributed > expected + cfg.overdraw_margin_w:
+                        return 0, "trust-overdraw"
+                    supported = server.perf_model.rate(managed.profile, knob)
+                    limit = supported * (1.0 + cfg.efficiency_margin)
+                    # Worst windowed rate: every slot filled with the largest
+                    # beat the window can ever hold during the segment.
+                    beats = work_per_app.get(name, 0.0)
+                    history = hb._histories[name]
+                    peak_beats = max(
+                        beats, max((r.beats for r in history), default=0.0)
+                    )
+                    slots = math.floor(window_s / dt) + 2
+                    if slots * peak_beats / window_s <= limit * (1.0 - 1e-9):
+                        pass  # efficiency check can never fire at this knob
+                    elif record.cooldown > 0:
+                        defense_horizon = min(defense_horizon, record.cooldown - 1)
+                    else:
+                        return 0, "trust-efficiency"
+                trust_flush.append((record, record.cooldown))
+
+        # --- E4 deviation accounting (SPACE plans with an allocation).
+        acct = m._accountant
+        acct_plan = acct._plan
+        e4_horizon: float = math.inf
+        e4_writes: list[tuple[str, bool, int]] = []  # (name, deviating, count0)
+        if (
+            acct_plan is not None
+            and acct_plan.mode is CoordinationMode.SPACE
+            and acct_plan.allocation is not None
+        ):
+            for name, expected in acct_plan.allocation.apps.items():
+                if expected.excluded or name in acct._suppressed:
+                    continue
+                if name not in breakdown.app_w:
+                    continue
+                observed = breakdown.app_w[name]
+                if abs(observed - expected.power_w) > acct._threshold_w:
+                    count0 = acct._deviation_counts.get(name, 0)
+                    e4_horizon = min(
+                        e4_horizon,
+                        acct._deviation_polls - count0 - _HORIZON_MARGIN,
+                    )
+                    e4_writes.append((name, True, count0))
+                else:
+                    e4_writes.append((name, False, 0))
+
+        # --- RAPL step constants (one wrap per tick at most, per domain).
+        domain_powers = server._domain_powers(running, breakdown)
+        rapl = server._rapl
+        for name, dom in rapl._domains.items():
+            power = domain_powers.get(name, 0.0)
+            if power < 0 or power * dt >= dom.wrap_range_j:
+                return 0, "rapl-step"
+
+        # --- the horizon: stop before the first branch any phase could take.
+        horizon = min(
+            completion_horizon,
+            phase_horizon,
+            batt_horizon,
+            defense_horizon,
+            e4_horizon,
+            float(self._max_segment),
+        )
+        if horizon < self._min_fast:
+            return 0, "short-horizon"
+        k_cap = int(horizon)
+
+        # End-of-run trim: tick i runs iff its start time is < end - 1e-9,
+        # evaluated on the exact fl time sequence the scalar loop holds.
+        times = _seq_add(server._now_s, dt, k_cap)
+        k = int(np.count_nonzero(times[:k_cap] < end_s - 1e-9))
+        if k < self._min_fast:
+            return 0, "short-window"
+        times = times[: k + 1]
+
+        self._flush_segment(
+            m,
+            k,
+            times=times,
+            mode=mode,
+            breakdown=breakdown,
+            wall_w=wall_w,
+            cap_w=cap_w,
+            charge_w=charge_w,
+            discharge_w=discharge_w,
+            deep_sleep=deep_sleep,
+            work_per_app=work_per_app,
+            running=running,
+            domain_powers=domain_powers,
+            batt_delta_j=batt_delta_j,
+            batt_charged_j=batt_charged_j,
+            batt_stored_j=batt_stored_j,
+            batt_discharged_j=batt_discharged_j,
+            esd=esd,
+            trust_flush=trust_flush,
+            e4_writes=e4_writes,
+        )
+        return k, ""
+
+    # ----------------------------------------------------------------- flush
+
+    def _flush_segment(
+        self,
+        m: PowerMediator,
+        k: int,
+        *,
+        times: np.ndarray,
+        mode: CoordinationMode,
+        breakdown,
+        wall_w: float,
+        cap_w: float,
+        charge_w: float,
+        discharge_w: float,
+        deep_sleep: bool,
+        work_per_app: dict[str, float],
+        running: dict,
+        domain_powers: dict[str, float],
+        batt_delta_j: float,
+        batt_charged_j: float,
+        batt_stored_j: float,
+        batt_discharged_j: float,
+        esd,
+        trust_flush: list,
+        e4_writes: list,
+    ) -> None:
+        """Materialize ``k`` steady ticks exactly as the scalar loop would."""
+        server = m._server
+        dt = m._dt_s
+        battery = m._battery
+
+        # RAPL counters: march every powered domain; psys per-tick values
+        # feed the wall-power telemetry samples below.
+        rapl = server._rapl
+        psys_values: np.ndarray | None = None
+        for name, dom in rapl._domains.items():
+            power = domain_powers.get(name, 0.0)
+            step_j = power * dt
+            if name == "psys":
+                psys_values = _rapl_march(dom.energy_j, step_j, dom.wrap_range_j, k)
+                dom.energy_j = float(psys_values[-1])
+            elif step_j != 0.0:
+                dom.energy_j = float(
+                    _rapl_march(dom.energy_j, step_j, dom.wrap_range_j, k)[-1]
+                )
+            # else: (e + 0.0) % wrap is the identity on in-range counters.
+            dom.last_power_w = power
+
+        assert psys_values is not None
+        deltas = np.diff(np.concatenate(([m._last_psys_energy_j], psys_values)))
+        wrap = rapl._domains["psys"].wrap_range_j
+        deltas = np.where(deltas < 0, deltas + wrap, deltas)
+        observed = deltas / dt
+        m._last_psys_energy_j = float(psys_values[-1])
+
+        # Watchdog saw k fresh samples; the retry loop idled k ticks.
+        m._watchdog._consecutive_good += k
+        m._watchdog._consecutive_bad = 0
+        m._retrier._tick += k
+
+        # Engine state: time, work ledgers, heartbeat windows.
+        server._now_s = float(times[k])
+        for name in running:
+            handle = server._handles[name]
+            handle.work_done = _seq_add_final(handle.work_done, work_per_app[name], k)
+        hb = server._heartbeats
+        window_s = hb._window_s
+        final_t = float(times[k])
+        cutoff = final_t - window_s
+        for name in server._handles:
+            beats = work_per_app.get(name, 0.0)
+            history = hb._histories[name]
+            while history and history[0].time_s <= cutoff:
+                history.popleft()
+            # Only records that survive the final cutoff are ever observed
+            # again; eviction cutoffs are monotone, so appending just the
+            # survivors matches emit-then-evict tick by tick.
+            start = int(np.searchsorted(times[1:], cutoff, side="right")) + 1
+            history.extend(
+                HeartbeatRecord(float(times[i]), beats) for i in range(start, k + 1)
+            )
+            hb._last_emit_s[name] = final_t
+            if beats != 0.0:
+                hb._totals[name] = _seq_add_final(hb._totals[name], beats, k)
+        if deep_sleep:
+            sleep = server._sleep
+            sleep._time_in_pc6_s = _seq_add_final(sleep._time_in_pc6_s, dt, k)
+
+        # Battery ledgers and the ESD phase cursor.
+        soc_values: np.ndarray | None = None
+        if batt_delta_j != 0.0:
+            stored = _seq_add(battery._stored_j, batt_delta_j, k)
+            battery._stored_j = float(stored[-1])
+            soc_values = stored[1:] / battery._capacity_j
+            if batt_charged_j != 0.0:
+                battery._total_charged_j = _seq_add_final(
+                    battery._total_charged_j, batt_charged_j, k
+                )
+            if batt_stored_j != 0.0:
+                battery._total_stored_j = _seq_add_final(
+                    battery._total_stored_j, batt_stored_j, k
+                )
+            if batt_discharged_j != 0.0:
+                battery._total_discharged_j = _seq_add_final(
+                    battery._total_discharged_j, batt_discharged_j, k
+                )
+        if esd is not None:
+            esd._phase_elapsed_s = _seq_add_final(esd._phase_elapsed_s, dt, k)
+
+        # Timeline records — the exact TickRecords the scalar loop builds.
+        soc_const = battery.soc if battery is not None else None
+        app_knobs = {
+            name: server._knobs.knob_of(name) for name in breakdown.app_w
+        }
+        app_power = breakdown.app_w
+        progressed = {name: work_per_app[name] for name in running}
+        timeline = m._timeline
+        for i in range(1, k + 1):
+            timeline.append(
+                TickRecord(
+                    time_s=float(times[i]),
+                    p_cap_w=cap_w,
+                    wall_w=wall_w,
+                    mode=mode,
+                    app_power_w=dict(app_power),
+                    app_knobs=dict(app_knobs),
+                    progressed=dict(progressed),
+                    battery_soc=(
+                        float(soc_values[i - 1]) if soc_values is not None else soc_const
+                    ),
+                    observed_wall_w=float(observed[i - 1]),
+                    degraded=False,
+                    breach=False,
+                )
+            )
+
+        # Metrics: k observations of constant values, in closed form.
+        registry = m._metrics
+        registry.counter("mediator.ticks").inc(k)
+        _flush_histogram(registry.histogram("mediator.wall_w"), wall_w, k)
+        _flush_histogram(registry.histogram("mediator.headroom_w"), cap_w - wall_w, k)
+        if charge_w > 0:
+            _flush_histogram(registry.histogram("esd.charge_w"), charge_w, k)
+        if discharge_w > 0:
+            _flush_histogram(registry.histogram("esd.discharge_w"), discharge_w, k)
+
+        # Trust: zero violations — scores decay, cooldowns drain.
+        decay = m._trust.config.score_decay
+        for record, cooldown0 in trust_flush:
+            record.cooldown = max(cooldown0 - k, 0)
+            if record.score != 0.0:
+                record.score = _seq_mul_final(record.score, decay, k)
+
+        # Accountant: E4 streak counters advance (or reset) per poll.
+        for name, deviating, count0 in e4_writes:
+            m._accountant._deviation_counts[name] = count0 + k if deviating else 0

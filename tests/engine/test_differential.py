@@ -134,6 +134,37 @@ def _matrix() -> list[Scenario]:
                 duration_s=6.0,
             )
         )
+    # Combined regimes: every batched planning phase live in one run - ESD
+    # duty cycling (battery flows + deep-sleep residency), defense/trust
+    # scoring, an adversary driving it, and optionally the fault classes.
+    # These are the scenarios the MediatedFleet segment flush must survive
+    # wholesale, so the cross-engine pin covers each phase interacting.
+    for i, kind in enumerate(ADVERSARY_KINDS):
+        scenarios.append(
+            Scenario(
+                name=f"mix10-combined-esd-{kind}",
+                mix_id=10,
+                policy="app+res+esd-aware",
+                p_cap_w=78.0,
+                seed=500 + i,
+                esd=True,
+                adversary_kind=kind,
+                duration_s=6.0,
+            )
+        )
+    scenarios.append(
+        Scenario(
+            name="mix05-combined-esd-faulted-adversary",
+            mix_id=5,
+            policy="app+res+esd-aware",
+            p_cap_w=78.0,
+            seed=600,
+            esd=True,
+            faulted=True,
+            adversary_kind=ADVERSARY_KINDS[0],
+            duration_s=6.0,
+        )
+    )
     return scenarios
 
 
@@ -148,6 +179,11 @@ def test_matrix_meets_the_acceptance_floor():
     )
     assert any(s.esd for s in SCENARIOS)
     assert any(not s.use_oracle_estimates for s in SCENARIOS)
+    # The combined regimes: ESD + defense + adversary in the same run, for
+    # every attack kind, plus one with the fault classes layered on top.
+    combined = [s for s in SCENARIOS if s.esd and s.adversary_kind]
+    assert {s.adversary_kind for s in combined} == set(ADVERSARY_KINDS)
+    assert any(s.faulted for s in combined)
 
 
 def _run(scenario: Scenario, engine: str):
@@ -307,12 +343,75 @@ def test_fuzzed_runs_are_trace_identical(scenario: Scenario):
     from repro.errors import ReproError
 
     try:
-        _, scalar_summary = _run(scenario, "scalar")
+        scalar_result, scalar_summary = _run(scenario, "scalar")
     except ReproError as scalar_exc:
         with pytest.raises(type(scalar_exc)) as vector_exc:
             _run(scenario, "vector")
         assert str(vector_exc.value) == str(scalar_exc)
         return
-    _, vector_summary = _run(scenario, "vector")
+    vector_result, vector_summary = _run(scenario, "vector")
     assert vector_summary["hash"] == scalar_summary["hash"]
     assert vector_summary["modes"] == scalar_summary["modes"]
+    assert _comparable_metrics(vector_result.metrics) == _comparable_metrics(
+        scalar_result.metrics
+    )
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+@given(
+    mix_id=st.integers(min_value=1, max_value=15),
+    kind=st.sampled_from(ADVERSARY_KINDS),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    faulted=st.booleans(),
+)
+def test_fuzzed_combined_regimes_end_in_equal_state(
+    mix_id: int, kind: str, seed: int, faulted: bool
+):
+    """The full planning stack at once - ESD duty cycling, deep sleep,
+    defense scoring, an adversary, optionally faults - must leave *equal
+    state trees* under either engine, not just equal traces. This is the
+    regime every batched phase of the mediated fast path replays, so the
+    state-level pin here is what licenses the segment flush wholesale."""
+    from repro.core.mediator import PowerMediator
+    from repro.core.policies import make_policy
+    from repro.errors import ReproError
+    from repro.server.config import DEFAULT_SERVER_CONFIG
+    from repro.server.server import SimulatedServer
+
+    def build_and_run(engine: str):
+        mediator = PowerMediator(
+            SimulatedServer(DEFAULT_SERVER_CONFIG, seed=0, engine=engine),
+            make_policy("app+res+esd-aware"),
+            78.0,
+            battery=default_battery(),
+            use_oracle_estimates=True,
+            seed=seed,
+            faults=_compressed_fault_plan(seed) if faulted else None,
+            adversaries=default_adversary_schedule(
+                get_mix(mix_id).names()[0], kind=kind, start_s=1.0, seed=seed
+            ),
+        )
+        for profile in get_mix(mix_id).profiles():
+            mediator.add_application(
+                profile.with_total_work(float("inf")), skip_overhead=True
+            )
+        mediator.run_for(6.0)
+        return mediator
+
+    try:
+        scalar_med = build_and_run("scalar")
+    except ReproError as scalar_exc:
+        with pytest.raises(type(scalar_exc)) as vector_exc:
+            build_and_run("vector")
+        assert str(vector_exc.value) == str(scalar_exc)
+        return
+    vector_med = build_and_run("vector")
+    assert vector_med.state_dict() == scalar_med.state_dict()
+    assert _comparable_metrics(vector_med.export_metrics()) == _comparable_metrics(
+        scalar_med.export_metrics()
+    )

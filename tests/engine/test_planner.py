@@ -1,0 +1,305 @@
+"""The mediated fast path is pinned to the per-tick scalar loop.
+
+:class:`~repro.engine.planner.MediatedFleet` promises the same contract the
+vector models do - *bit-identical*, not "close": a fleet advanced through
+horizon segments must end every run with exactly the state, metrics and
+timeline a plain ``for m in mediators: m.run_for(...)`` loop produces. Two
+layers enforce it here:
+
+1. **Kernel pins**: the closed-form accumulators (``_seq_add``,
+   ``_seq_mul_final``, ``_rapl_march``) are checked element-by-element
+   against the literal Python fold they replace, across magnitudes where
+   float addition is far from associative. This is the load-bearing fact
+   the module docstring claims (numpy accumulates strictly sequentially);
+   if a numpy release ever pairwise-sums these, this file fails first.
+2. **Fleet-vs-loop differentials**: seeded scenarios spanning the regimes
+   the fast path replays (SPACE allocation, ESD duty cycling, defense on
+   and off, both engines, mid-run cap changes, app completion, fractional
+   durations) plus a hypothesis fuzz layer. Equality is ``==`` on state
+   dicts, metrics and the tick timeline.
+
+The *speed* of the fast path is priced in
+``benchmarks/bench_mediator_throughput.py``; this file only proves it legal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.mediator import PowerMediator
+from repro.core.policies import make_policy
+from repro.core.simulation import default_battery
+from repro.core.trust import DefenseConfig
+from repro.engine.planner import MediatedFleet, _rapl_march, _seq_add, _seq_mul_final
+from repro.errors import ConfigurationError
+from repro.observability.trace import TraceBus
+from repro.server.config import DEFAULT_SERVER_CONFIG
+from repro.server.server import SimulatedServer
+from repro.workloads.mixes import get_mix
+
+# ------------------------------------------------------------------ kernels
+
+
+@pytest.mark.parametrize(
+    "start,step,k",
+    [
+        (0.0, 0.1, 1000),
+        (1e9, 0.1, 500),  # large/small: addition here is order-sensitive
+        (3.7, -0.3333333333333333, 257),
+        (0.0, 7.25, 1),
+    ],
+)
+def test_seq_add_matches_the_python_fold(start, step, k):
+    values = _seq_add(start, step, k)
+    acc = start
+    for i in range(k):
+        acc += step
+        assert values[i + 1] == acc  # bitwise: == on floats, no tolerance
+    assert values[0] == start
+    assert len(values) == k + 1
+
+
+@pytest.mark.parametrize(
+    "start,factor,k",
+    [(1.0, 0.9, 400), (2.5, 0.9999999, 1000), (1e-12, 1.5, 64)],
+)
+def test_seq_mul_final_matches_the_python_fold(start, factor, k):
+    acc = start
+    for _ in range(k):
+        acc *= factor
+    assert _seq_mul_final(start, factor, k) == acc
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_rapl_march_matches_the_modulo_fold(seed):
+    rng = np.random.default_rng(seed)
+    wrap = float(rng.uniform(50.0, 500.0))
+    e0 = float(rng.uniform(0.0, wrap))
+    step = float(rng.uniform(0.01, wrap / 3.0))
+    k = 4096
+    values = _rapl_march(e0, step, wrap, k)
+    acc = e0
+    for i in range(k):
+        acc = (acc + step) % wrap  # the scalar counter's advance
+        assert values[i] == acc
+    assert len(values) == k
+
+
+# ---------------------------------------------------------- fleet-vs-loop
+
+
+def _build(
+    engine: str,
+    mix_id: int,
+    *,
+    policy: str = "app+res-aware",
+    cap: float = 95.0,
+    seed: int = 0,
+    total_work: float = float("inf"),
+    defense: DefenseConfig | None = None,
+    trace_bus: TraceBus | None = None,
+) -> PowerMediator:
+    policy_obj = make_policy(policy)
+    mediator = PowerMediator(
+        SimulatedServer(DEFAULT_SERVER_CONFIG, seed=0, engine=engine),
+        policy_obj,
+        cap,
+        battery=default_battery() if policy_obj.uses_esd else None,
+        use_oracle_estimates=True,
+        seed=seed,
+        defense=defense,
+        trace_bus=trace_bus,
+    )
+    for profile in get_mix(mix_id).profiles():
+        mediator.add_application(
+            profile.with_total_work(total_work), skip_overhead=True
+        )
+    return mediator
+
+
+def _comparable_metrics(mediator: PowerMediator) -> dict:
+    doc = mediator.export_metrics()
+    doc.pop("profile", None)  # wall-clock, not simulation facts
+    return doc
+
+
+def _assert_pair_equal(fast: PowerMediator, ref: PowerMediator) -> None:
+    assert fast.state_dict() == ref.state_dict()
+    assert _comparable_metrics(fast) == _comparable_metrics(ref)
+    assert fast.timeline == ref.timeline
+
+
+def _run_both(duration_s: float, build_kwargs: dict, **fleet_kwargs):
+    """The same mediator advanced by the fleet and by the plain loop."""
+    fast = _build(**build_kwargs)
+    ref = _build(**build_kwargs)
+    fleet = MediatedFleet([fast], **fleet_kwargs)
+    fleet.run_for(duration_s)
+    ref.run_for(duration_s)
+    _assert_pair_equal(fast, ref)
+    return fleet
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+@pytest.mark.parametrize(
+    "policy,mix_id,cap",
+    [
+        ("app+res-aware", 3, 95.0),  # SPACE steady state
+        ("app+res-aware", 7, 62.0),  # tight cap, throttled allocation
+        ("app+res+esd-aware", 10, 80.0),  # ESD duty cycle: flows + sleep
+        ("util-unaware", 1, 80.0),  # TIME rotation: all-scalar by design
+    ],
+)
+def test_fleet_equals_loop_across_regimes(engine, policy, mix_id, cap):
+    fleet = _run_both(
+        20.0, dict(engine=engine, mix_id=mix_id, policy=policy, cap=cap)
+    )
+    if policy == "util-unaware":
+        # The rejected promotion of DESIGN.md section 13: slot rotation
+        # flips run-states every tick, so the fleet must refuse the fast
+        # path - correct by staying scalar, not by replaying branches.
+        assert fleet.fast_ticks == 0
+        assert "time-rotation" in fleet.demotions
+    else:
+        assert fleet.fast_fraction > 0.5, fleet.demotions
+
+
+def test_fleet_equals_loop_with_defense_off():
+    _run_both(
+        15.0,
+        dict(engine="vector", mix_id=4, defense=DefenseConfig(enabled=False)),
+    )
+
+
+def test_fleet_equals_loop_when_apps_complete():
+    # Finite work: completion events (E3) fire mid-run, forcing demotions
+    # at the departure edges; the fleet must land the exact same ticks.
+    fleet = _run_both(
+        20.0, dict(engine="vector", mix_id=2, total_work=150.0)
+    )
+    assert fleet.scalar_ticks > 0  # the departures really happened
+
+
+@pytest.mark.parametrize("duration", [0.1, 0.7, 3.3, 11.13])
+def test_fleet_equals_loop_for_fractional_durations(duration):
+    _run_both(duration, dict(engine="vector", mix_id=6))
+
+
+def test_fleet_equals_loop_across_mid_run_cap_changes():
+    fast = _build(engine="vector", mix_id=3)
+    ref = _build(engine="vector", mix_id=3)
+    fleet = MediatedFleet([fast])
+    for cap in (95.0, 70.0, 110.0):
+        fast.set_power_cap(cap)
+        ref.set_power_cap(cap)
+        fleet.run_for(6.0)
+        ref.run_for(6.0)
+    _assert_pair_equal(fast, ref)
+
+
+def test_trace_attached_mediators_stay_scalar_and_equal():
+    # Fast segments cannot synthesize per-tick trace events, so a mediator
+    # with a live bus must demote every tick - and still match the loop's
+    # event stream byte for byte.
+    fast_bus, ref_bus = TraceBus(), TraceBus()
+    fast = _build(engine="vector", mix_id=5, trace_bus=fast_bus)
+    ref = _build(engine="vector", mix_id=5, trace_bus=ref_bus)
+    fleet = MediatedFleet([fast])
+    fleet.run_for(5.0)
+    ref.run_for(5.0)
+    assert fleet.fast_ticks == 0
+    assert "trace-attached" in fleet.demotions
+    assert fast_bus.events == ref_bus.events
+    _assert_pair_equal(fast, ref)
+
+
+def test_heterogeneous_fleet_advances_every_member():
+    mediators = [
+        _build(engine="vector", mix_id=1 + i, seed=i, cap=80.0 + 5 * i)
+        for i in range(4)
+    ]
+    refs = [
+        _build(engine="vector", mix_id=1 + i, seed=i, cap=80.0 + 5 * i)
+        for i in range(4)
+    ]
+    fleet = MediatedFleet(mediators)
+    fleet.run_for(12.0)
+    for fast, ref in zip(mediators, refs):
+        ref.run_for(12.0)
+        assert math.isclose(fast.server.now_s, 12.0)
+        _assert_pair_equal(fast, ref)
+    assert fleet.fast_ticks + fleet.scalar_ticks == 4 * 120
+
+
+def test_step_all_is_one_scalar_tick_each():
+    mediators = [_build(engine="vector", mix_id=i + 1, seed=i) for i in range(3)]
+    fleet = MediatedFleet(mediators)
+    fleet.step_all()
+    assert fleet.scalar_ticks == 3
+    assert fleet.fast_ticks == 0
+    assert all(math.isclose(m.server.now_s, 0.1) for m in mediators)
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_fleet_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        MediatedFleet([])
+    with pytest.raises(ConfigurationError):
+        MediatedFleet([object()])
+    good = _build(engine="scalar", mix_id=1)
+    with pytest.raises(ConfigurationError):
+        MediatedFleet([good], min_fast_ticks=0)
+    with pytest.raises(ConfigurationError):
+        MediatedFleet([good], min_fast_ticks=16, max_segment_ticks=8)
+    with pytest.raises(ConfigurationError):
+        MediatedFleet([good]).run_for(0.0)
+
+
+# ----------------------------------------------------------------- fuzzing
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+@given(
+    mix_id=st.integers(min_value=1, max_value=15),
+    policy=st.sampled_from(("app+res-aware", "app+res+esd-aware")),
+    cap=st.integers(min_value=65, max_value=115),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    engine=st.sampled_from(("scalar", "vector")),
+    duration_ticks=st.integers(min_value=1, max_value=180),
+    min_fast=st.integers(min_value=1, max_value=32),
+)
+def test_fuzzed_fleet_runs_equal_the_loop(
+    mix_id, policy, cap, seed, engine, duration_ticks, min_fast
+):
+    from repro.errors import ReproError
+
+    kwargs = dict(
+        engine=engine, mix_id=mix_id, policy=policy, cap=float(cap), seed=seed
+    )
+    duration = duration_ticks * 0.1
+    try:
+        ref = _build(**kwargs)
+        ref.run_for(duration)
+    except ReproError as ref_exc:
+        fast = _build(**kwargs)
+        with pytest.raises(type(ref_exc)) as fast_exc:
+            MediatedFleet([fast], min_fast_ticks=min_fast).run_for(duration)
+        assert str(fast_exc.value) == str(ref_exc)
+        return
+    fast = _build(**kwargs)
+    MediatedFleet([fast], min_fast_ticks=min_fast).run_for(duration)
+    _assert_pair_equal(fast, ref)

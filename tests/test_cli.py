@@ -332,6 +332,47 @@ class TestObservabilityFlags:
         assert "ticks 60" in out
         assert "modes:" in out
 
+    def test_trace_summarize_pairs_metrics_hot_phases(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        metrics_path = tmp_path / "run-metrics.json"
+        main(_mix_args(trace_path, metrics_path))
+        capsys.readouterr()
+        code = main(
+            ["trace", "summarize", str(trace_path), "--metrics", str(metrics_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hottest phases" in out
+        assert "p95" in out
+        assert "calls" in out
+        # Top-3, never more: one line per phase under the header.
+        phase_lines = [l for l in out.splitlines() if l.startswith("  ")]
+        assert 1 <= len(phase_lines) <= 3
+
+    def test_trace_summarize_missing_metrics_file_exits_2(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        main(_mix_args(trace_path))
+        capsys.readouterr()
+        code = main(
+            ["trace", "summarize", str(trace_path), "--metrics", "/nonexistent.json"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_trace_summarize_corrupt_metrics_file_exits_2(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        main(_mix_args(trace_path))
+        capsys.readouterr()
+        bad = tmp_path / "bad-metrics.json"
+        bad.write_text("{not json")
+        code = main(["trace", "summarize", str(trace_path), "--metrics", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "not valid JSON" in captured.err
+
     def test_trace_summarize_missing_file_exits_2(self, capsys):
         code = main(["trace", "summarize", "/nonexistent/run.jsonl"])
         captured = capsys.readouterr()
