@@ -1,0 +1,163 @@
+"""Hierarchy resilience: what multi-level mediation delivers, at what speed.
+
+The budget tree stacks the flat lease/epoch control plane into
+datacenter -> PDU -> rack levels; every watt a leaf enforces was
+delegated down a chain of per-level leases over lossy fabrics. This
+benchmark prices that stacking across fleet scale and network severity:
+
+* a fan-out x loss matrix (100 and 1000 servers), reporting the
+  **mediation quality** each shape retains - the time-averaged fraction
+  of the datacenter budget that reaches loaded leaves as enforceable
+  caps once leases have warmed up - and the **breach count**, which is
+  zero by construction (the replay raises if the sum of enforced caps
+  ever exceeds any node's budget, so a completed run *is* the proof);
+* a protocol-only throughput figure per fleet size (``steps_per_s``),
+  since the tree multiplies controller work by the interior node count
+  and the mediation path must stay cheap relative to the engine tick.
+
+The rows land in ``BENCH_hierarchy.json`` (override with
+``$REPRO_BENCH_HIERARCHY``) so the committed numbers ride with the code;
+CI compares a fresh run against the committed baseline and fails on a
+>20% steps/s regression at either fleet size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks._tiny import pick, tiny
+from repro.analysis.reporting import banner, format_table
+from repro.hierarchy import TreeSpec, run_budget_tree
+from repro.netsim import NetConfig
+
+SHAPES = pick(((10, 10), (10, 10, 10)), ((2, 2),))
+LOSSES = pick((0.0, 0.1, 0.3), (0.2,))
+STEPS = pick(120, 8)
+WARMUP = pick(20, 2)
+DRAIN = pick(20, 4)
+BENCH_FANOUTS = pick((3, 4), (2, 2))
+BENCH_STEPS = pick(40, 8)
+
+
+def _leaves(fanouts: tuple[int, ...]) -> int:
+    n = 1
+    for f in fanouts:
+        n *= f
+    return n
+
+
+def _run(fanouts: tuple[int, ...], loss: float, *, steps: int = STEPS):
+    """One full-load protocol replay; returns (outcome, wall seconds)."""
+    n_leaves = _leaves(fanouts)
+    spec = TreeSpec(fanouts=fanouts, budget_w=100.0 * n_leaves)
+    net = NetConfig(
+        loss=loss, duplicate=loss / 2.0, jitter_steps=1, seed=11
+    )
+    started = time.perf_counter()
+    outcome = run_budget_tree(
+        spec, [n_leaves] * steps, net=net, drain_steps=DRAIN
+    )
+    return outcome, time.perf_counter() - started
+
+
+def _quality(outcome) -> float:
+    """Time-averaged delivered fraction of the budget after lease warmup."""
+    rows = outcome.caps_w[WARMUP:]
+    return sum(sum(row) for row in rows) / (len(rows) * outcome.budget_w)
+
+
+def test_mediation_quality_matrix(benchmark, emit):
+    rows = []
+    table = []
+    for fanouts in SHAPES:
+        n_leaves = _leaves(fanouts)
+        quality_by_loss = {}
+        breaches = 0
+        elapsed_total = 0.0
+        for loss in LOSSES:
+            # A breach raises SimulationError inside the replay, so any
+            # outcome we hold has a breach count of exactly zero.
+            outcome, elapsed = _run(fanouts, loss)
+            elapsed_total += elapsed
+            quality_by_loss[loss] = _quality(outcome)
+            assert outcome.max_total_cap_w <= outcome.budget_w + 1e-6
+            assert outcome.zombie_free
+            table.append(
+                [
+                    "x".join(str(f) for f in fanouts),
+                    n_leaves,
+                    f"{loss:.0%}",
+                    f"{quality_by_loss[loss]:.1%}",
+                    breaches,
+                    outcome.fallbacks,
+                    outcome.heals,
+                    outcome.net_stats["dropped_loss"],
+                ]
+            )
+        rows.append(
+            {
+                "n_servers": n_leaves,
+                "fanouts": list(fanouts),
+                "steps": STEPS,
+                "steps_per_s": len(LOSSES) * STEPS / elapsed_total,
+                "breaches": breaches,
+                "quality_by_loss": {
+                    f"{loss:g}": quality_by_loss[loss] for loss in LOSSES
+                },
+            }
+        )
+
+    benchmark(
+        lambda: run_budget_tree(
+            TreeSpec(
+                fanouts=BENCH_FANOUTS,
+                budget_w=100.0 * _leaves(BENCH_FANOUTS),
+            ),
+            [_leaves(BENCH_FANOUTS)] * BENCH_STEPS,
+            net=NetConfig(loss=0.1, duplicate=0.05, jitter_steps=1, seed=3),
+        )
+    )
+
+    emit("\n" + banner(f"HIERARCHY RESILIENCE: mediation quality, {STEPS} steps"))
+    emit(
+        format_table(
+            ["tree", "servers", "loss", "quality", "breaches",
+             "fallbacks", "heals", "drops"],
+            table,
+        )
+    )
+    for row in rows:
+        emit(
+            f"{row['n_servers']:>5} servers: {row['steps_per_s']:.1f} "
+            f"mediation steps/s (protocol only, {len(LOSSES)} severities)"
+        )
+
+    path = os.environ.get("REPRO_BENCH_HIERARCHY", "BENCH_hierarchy.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "benchmark": "bench_hierarchy_resilience",
+                "steps": STEPS,
+                "warmup_steps": WARMUP,
+                "losses": list(LOSSES),
+                "rows": rows,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    emit(f"hierarchy resilience matrix -> {path}")
+
+    if not tiny():
+        by_size = {row["n_servers"]: row for row in rows}
+        # The acceptance bar: on a clean network the tree delivers nearly
+        # the whole budget at 100 servers, and loss degrades quality
+        # gracefully (never to zero - the safe tier is unconditional).
+        assert by_size[100]["quality_by_loss"]["0"] >= 0.90
+        for row in rows:
+            assert row["breaches"] == 0
+            for quality in row["quality_by_loss"].values():
+                assert 0.0 < quality <= 1.0 + 1e-9

@@ -48,6 +48,13 @@ from repro.chaos.partition import (
     run_partition_chaos,
     run_partition_soak,
 )
+from repro.chaos.hierarchy import (
+    HierarchyChaosResult,
+    HierarchySoakResult,
+    run_hierarchy_chaos,
+    run_hierarchy_soak,
+    subtree_outage_schedule,
+)
 
 __all__ = [
     "AdversaryRunResult",
@@ -59,6 +66,8 @@ __all__ = [
     "HONEST_RETENTION_FLOOR",
     "UNDEFENDED_SLACK",
     "ChurnSchedule",
+    "HierarchyChaosResult",
+    "HierarchySoakResult",
     "ServiceSoakReport",
     "PartitionChaosResult",
     "PartitionSoakResult",
@@ -67,6 +76,9 @@ __all__ = [
     "kill_schedule",
     "mix_recipe",
     "partition_schedule",
+    "run_hierarchy_chaos",
+    "run_hierarchy_soak",
+    "subtree_outage_schedule",
     "run_adversary_mix",
     "run_adversary_soak",
     "run_chaos_mix",

@@ -9,6 +9,7 @@ Subcommands:
 * ``dynamic``   - a Poisson arrival stream against one server;
 * ``serve``     - long-running service mode (open-loop streaming ingest);
 * ``cluster``   - the Fig. 12 peak-shaving comparison;
+* ``hierarchy`` - datacenter -> PDU -> rack budget-tree mediation;
 * ``place``     - the power-aware job-placement extension;
 * ``zones``     - the hardware powercap-zone extension;
 * ``trace``     - inspect a recorded trace (``trace summarize RUN.jsonl``).
@@ -26,6 +27,8 @@ Examples::
     python -m repro cluster --fast
     python -m repro cluster --fast --loss 0.2 --partition 3:8:1+2 --outage 0:6:10
     python -m repro cluster --chaos 5
+    python -m repro hierarchy --fanouts 3,4 --loss 0.2 --outage 0:20:60
+    python -m repro hierarchy --fanouts 2,3,4 --chaos 5
 """
 
 from __future__ import annotations
@@ -64,6 +67,8 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import (
     ADVERSARY_KINDS as ADVERSARY_TRACE_KINDS,
     CONTROL_PLANE_KINDS,
+    HIERARCHY_KINDS,
+    NULL_TRACE_BUS,
     TraceBus,
     read_trace,
     summarize_trace,
@@ -794,6 +799,158 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fanouts(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part)
+    except ValueError:
+        raise NetworkError(
+            f"--fanouts expects comma-separated integers like 3,4, got {text!r}"
+        ) from None
+
+
+def _parse_subtree_outage(spec: str):
+    """Parse a ``PATH:START:END`` failure-domain window (dotted tree path)."""
+    from repro.hierarchy import SubtreeOutage, parse_path
+
+    try:
+        path_s, start_s, end_s = spec.split(":")
+        start, end = int(start_s), int(end_s)
+    except ValueError:
+        raise NetworkError(
+            f"--outage expects PATH:START:END like 0:20:60, got {spec!r}"
+        ) from None
+    try:
+        return SubtreeOutage(path=parse_path(path_s), start_step=start, end_step=end)
+    except ConfigurationError as exc:
+        raise NetworkError(f"--outage {spec!r}: {exc}") from None
+
+
+def _hierarchy_soak(args: argparse.Namespace, fanouts: tuple[int, ...]) -> int:
+    """``hierarchy --chaos N``: seeded failure-domain soaks on the tree."""
+    from repro.chaos import run_hierarchy_soak
+
+    soak = run_hierarchy_soak(
+        seeds=list(range(args.seed, args.seed + args.chaos)),
+        fanouts=fanouts,
+        n_steps=args.steps,
+        budget_w=args.budget,
+        max_loss=args.loss if args.loss > 0.0 else 0.3,
+    )
+    print(banner(f"hierarchy chaos soak: {len(soak.runs)} seeded schedules"))
+    rows = [
+        [
+            run.seed,
+            f"{run.loss:.0%}",
+            run.domain_outages,
+            run.restarts,
+            run.fallbacks,
+            run.heals,
+            run.headroom_w,
+            f"{run.min_sibling_ratio:.3f}",
+        ]
+        for run in soak.runs
+    ]
+    print(
+        format_table(
+            ["seed", "loss", "domain outages", "restarts", "fallbacks",
+             "heals", "headroom [W]", "sibling ratio"],
+            rows,
+        )
+    )
+    print(
+        f"all {len(soak.runs)} runs held the delegation invariant at every "
+        f"node; min headroom {soak.min_headroom_w:.1f} W, worst sibling "
+        f"containment ratio {soak.min_sibling_ratio:.3f} over "
+        f"{soak.total_domain_outages} domain outages and "
+        f"{soak.total_restarts} stale-checkpoint restarts"
+    )
+    return 0
+
+
+def cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.cluster.controlplane import ControlPlaneConfig
+    from repro.hierarchy import (
+        TreeSpec,
+        TreeTopology,
+        run_budget_tree,
+        subtree_outages_from_fault_plan,
+    )
+
+    fanouts = _parse_fanouts(args.fanouts)
+    if args.chaos:
+        return _hierarchy_soak(args, fanouts)
+    spec = TreeSpec(
+        fanouts=fanouts,
+        budget_w=(
+            100.0 * int(np.prod(fanouts)) if args.budget is None else args.budget
+        ),
+    )
+    outages = [_parse_subtree_outage(s) for s in args.outage or ()]
+    plan = _load_fault_plan(args.faults)
+    if plan is not None:
+        # Hierarchy schedules are in abstract ticks; fault-plan seconds map
+        # one-to-one onto them.
+        topology = TreeTopology(spec=spec, config=ControlPlaneConfig())
+        outages.extend(
+            subtree_outages_from_fault_plan(plan, step_s=1.0, topology=topology)
+        )
+    net = NetConfig(
+        latency_steps=args.latency,
+        jitter_steps=args.jitter,
+        loss=args.loss,
+        duplicate=args.loss / 2.0,
+        partitions=tuple(_parse_partition(s) for s in args.partition or ()),
+        seed=args.seed,
+    )
+    bus = TraceBus() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    outcome = run_budget_tree(
+        spec,
+        [spec.n_leaves] * args.steps,
+        net=net,
+        subtree_outages=tuple(outages),
+        drain_steps=20,
+        trace_bus=bus if bus is not None else NULL_TRACE_BUS,
+        metrics=metrics,
+    )
+    print(
+        banner(
+            f"budget tree: {' x '.join(str(f) for f in fanouts)} = "
+            f"{spec.n_leaves} servers, {outcome.budget_w:.0f} W"
+        )
+    )
+    rows = []
+    nodes_at_level = 1
+    for depth, safe_w in enumerate(outcome.safe_caps_by_level_w, start=1):
+        nodes_at_level *= fanouts[depth - 1]
+        rows.append(
+            [
+                spec.level_names[depth],
+                nodes_at_level,
+                fanouts[depth] if depth < len(fanouts) else "-",
+                safe_w,
+            ]
+        )
+    print(format_table(["level", "nodes", "fanout", "safe cap/node [W]"], rows))
+    mean_total = sum(sum(row) for row in outcome.caps_w) / len(outcome.caps_w)
+    print(
+        f"mediation quality {mean_total / outcome.budget_w:.1%} of budget "
+        f"(peak {outcome.max_total_cap_w:.1f} W, never above budget); "
+        f"fallbacks {outcome.fallbacks}, heals {outcome.heals}; "
+        f"zombie-free {outcome.zombie_free}"
+    )
+    stats = outcome.net_stats
+    print(
+        f"network: {stats['sent']} sent, {stats['dropped_loss']} lost, "
+        f"{stats['dropped_partition']} cut, {stats['duplicated']} duplicated "
+        f"across {len(outcome.final_epochs)} fabrics"
+    )
+    _write_observability(
+        args, bus, metrics.to_json() if metrics is not None else None
+    )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     events = read_trace(args.path)
     # Tolerant of kinds a newer writer added: they surface in the summary's
@@ -820,6 +977,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(
             f"control plane: {sum(cp.values())} events ("
             + ", ".join(f"{k.removeprefix('cp-')}={v}" for k, v in sorted(cp.items()))
+            + ")"
+        )
+    hier = {
+        kind: count
+        for kind, count in summary["kinds"].items()
+        if kind in HIERARCHY_KINDS
+    }
+    if hier:
+        print(
+            f"hierarchy: {sum(hier.values())} events ("
+            + ", ".join(
+                f"{k.removeprefix('hier-')}={v}" for k, v in sorted(hier.items())
+            )
             + ")"
         )
     adv = {
@@ -1160,6 +1330,50 @@ def build_parser() -> argparse.ArgumentParser:
     faults_arg(p_clu)
     observability_args(p_clu)
     p_clu.set_defaults(func=cmd_cluster)
+
+    p_hier = sub.add_parser(
+        "hierarchy", help="datacenter -> PDU -> rack budget-tree mediation"
+    )
+    p_hier.add_argument(
+        "--fanouts", type=str, default="3,4", metavar="F1,F2",
+        help="children per level, top-down (3,4 = 3 PDUs x 4 servers)",
+    )
+    p_hier.add_argument(
+        "--budget", type=float, default=None, metavar="W",
+        help="datacenter budget in watts (default: 100 W per server)",
+    )
+    p_hier.add_argument("--steps", type=int, default=120, metavar="N")
+    p_hier.add_argument("--seed", type=int, default=1)
+    p_hier.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-message drop probability in [0, 1), at every fabric",
+    )
+    p_hier.add_argument(
+        "--latency", type=int, default=0, metavar="STEPS",
+        help="base one-way delivery latency in steps",
+    )
+    p_hier.add_argument(
+        "--jitter", type=int, default=0, metavar="STEPS",
+        help="uniform extra delivery latency in [0, STEPS]",
+    )
+    p_hier.add_argument(
+        "--partition", action="append", default=None, metavar="START:END:N1+N2",
+        help="cut these root-fabric children (PDU uplinks) for [START, END) "
+        "steps (repeatable)",
+    )
+    p_hier.add_argument(
+        "--outage", action="append", default=None, metavar="PATH:START:END",
+        help="take the whole failure domain at dotted PATH dark for "
+        "[START, END) steps, controller and all (repeatable)",
+    )
+    p_hier.add_argument(
+        "--chaos", type=int, default=0, metavar="RUNS",
+        help="run RUNS seeded failure-domain chaos schedules against the "
+        "tree instead of the plain replay",
+    )
+    faults_arg(p_hier)
+    observability_args(p_hier)
+    p_hier.set_defaults(func=cmd_hierarchy)
 
     p_place = sub.add_parser("place", help="power-aware job placement (extension)")
     p_place.add_argument(

@@ -85,9 +85,11 @@ def validate_outages(
 
     Three rules, matching how the rest of the schedule machinery behaves:
 
-    * Outages naming servers past the fleet are dropped (schedules can be
-      shared across cluster sizes), as are outages starting at or past the
-      end of the trace.
+    * An outage naming a server that does not exist in the topology raises
+      :class:`~repro.errors.ConfigurationError` naming the id - a typo'd
+      schedule silently doing nothing is how fault drills get skipped.
+      Outages starting at or past the end of the trace are still dropped
+      (schedules can be shared across trace lengths).
     * An outage extending past the trace is clamped to the trace end - the
       extra steps can never be observed, so they are not an error.
     * Two outages for the *same* server whose intervals overlap are
@@ -101,7 +103,12 @@ def validate_outages(
     kept: list[NodeOutage] = []
     seen: dict[int, list[tuple[int, int, int]]] = {}
     for index, outage in enumerate(outages):
-        if outage.server >= n_servers or outage.start_step >= n_steps:
+        if outage.server >= n_servers:
+            raise ConfigurationError(
+                f"outages[{index}].server: server {outage.server} does not "
+                f"exist in a {n_servers}-server fleet"
+            )
+        if outage.start_step >= n_steps:
             continue
         end_step = min(outage.end_step, n_steps)
         for start2, end2, index2 in seen.get(outage.server, []):

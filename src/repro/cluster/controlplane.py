@@ -48,7 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import NetworkError, SimulationError
+from repro.errors import NetworkError, RetryExhaustedError, SimulationError
 from repro.netsim.network import CONTROLLER, NetConfig, SimNetwork
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.trace import NULL_TRACE_BUS, TraceBus
@@ -149,12 +149,19 @@ class CapAck:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Node -> controller: I am alive, and this is the grant I hold."""
+    """Node -> controller: I am alive, and this is the grant I hold.
+
+    ``demand_w`` is upward telemetry: how many watts of offered load the
+    sender (or, for a hierarchy's interior node, its whole subtree)
+    currently wants. It is advisory - safety never depends on it - and
+    defaults to 0 so the flat single-level protocol is unchanged.
+    """
 
     node: int
     epoch: int
     extra_w: float
     lease_expiry_step: int
+    demand_w: float = 0.0
 
 
 # ---------------------------------------------------------------- node agent
@@ -179,6 +186,7 @@ class NodeAgent:
         config: ControlPlaneConfig,
         trace_bus: TraceBus = NULL_TRACE_BUS,
         metrics: MetricsRegistry | None = None,
+        scope: str = "",
     ) -> None:
         self.node_id = node_id
         self.safe_cap_w = safe_cap_w
@@ -186,12 +194,26 @@ class NodeAgent:
         self._config = config
         self._trace = trace_bus
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._scope = scope
         self.up = True
         #: Highest epoch ever accepted (survives outages: the epoch counter
         #: is journaled to the node's local store, PR 2 style).
         self.epoch = 0
         self.extra_w = 0.0
         self.lease_expiry_step = 0
+        #: Advisory upward telemetry carried in heartbeats (a hierarchy's
+        #: interior node reports its subtree's aggregate want here).
+        self.demand_w = 0.0
+
+    def _payload(self, payload: dict) -> dict:
+        """Label trace payloads with the mediation scope when one is set.
+
+        The flat single-level plane never sets a scope, so its payloads -
+        and therefore its trace hashes - are byte-identical to before.
+        """
+        if self._scope:
+            payload["scope"] = self._scope
+        return payload
 
     def live_extra_w(self, step: int) -> float:
         """The granted extra still in force at ``step`` (0 past the lease)."""
@@ -200,6 +222,64 @@ class NodeAgent:
     def effective_cap_w(self, step: int) -> float:
         """The cap this node enforces at ``step``, up or not."""
         return min(self.rated_cap_w, self.safe_cap_w + self.live_extra_w(step))
+
+    def state_dict(self) -> dict:
+        """The agent's journaled state (PR 2 codec convention)."""
+        return {
+            "epoch": self.epoch,
+            "extra_w": self.extra_w,
+            "lease_expiry_step": self.lease_expiry_step,
+            "up": self.up,
+            "demand_w": self.demand_w,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+        self.epoch = int(state["epoch"])
+        self.extra_w = float(state["extra_w"])
+        self.lease_expiry_step = int(state["lease_expiry_step"])
+        self.up = bool(state["up"])
+        self.demand_w = float(state.get("demand_w", 0.0))
+
+    def _accept(self, message: SetCapCmd, step: int, network: SimNetwork) -> None:
+        """Adopt a current-or-newer command and ack the resulting state.
+
+        Split out of :meth:`step` so a hierarchy's interior agent can defer
+        *shrinks* while its own children still hold leases backed by the
+        watts being taken away; a leaf applies everything immediately.
+        """
+        self.epoch = message.epoch
+        self.extra_w = message.extra_w
+        self.lease_expiry_step = message.lease_expiry_step
+        network.send(
+            self.node_id,
+            CONTROLLER,
+            CapAck(
+                node=self.node_id,
+                epoch=self.epoch,
+                extra_w=self.extra_w,
+                lease_expiry_step=self.lease_expiry_step,
+            ),
+            step,
+        )
+
+    def _lease_clock(self, step: int) -> None:
+        """Expire the held grant on the node's own clock."""
+        if self.extra_w > 0 and step >= self.lease_expiry_step:
+            # Missed renewal: fall back to the guard-banded safe cap.
+            self._metrics.counter("controlplane.lease_expiries").inc()
+            self._trace.emit(
+                "cp-lease-expired",
+                self._payload(
+                    {
+                        "node": self.node_id,
+                        "epoch": self.epoch,
+                        "lost_extra_w": self.extra_w,
+                        "step": step,
+                    }
+                ),
+            )
+            self.extra_w = 0.0
 
     def step(self, step: int, network: SimNetwork) -> None:
         """Process one step: inbox, lease clock, heartbeat."""
@@ -215,12 +295,14 @@ class NodeAgent:
                 self._metrics.counter("controlplane.epoch_rejections").inc()
                 self._trace.emit(
                     "cp-epoch-reject",
-                    {
-                        "node": self.node_id,
-                        "stale_epoch": message.epoch,
-                        "current_epoch": self.epoch,
-                        "step": step,
-                    },
+                    self._payload(
+                        {
+                            "node": self.node_id,
+                            "stale_epoch": message.epoch,
+                            "current_epoch": self.epoch,
+                            "step": step,
+                        }
+                    ),
                 )
                 network.send(
                     self.node_id,
@@ -235,33 +317,8 @@ class NodeAgent:
                     step,
                 )
                 continue
-            self.epoch = message.epoch
-            self.extra_w = message.extra_w
-            self.lease_expiry_step = message.lease_expiry_step
-            network.send(
-                self.node_id,
-                CONTROLLER,
-                CapAck(
-                    node=self.node_id,
-                    epoch=self.epoch,
-                    extra_w=self.extra_w,
-                    lease_expiry_step=self.lease_expiry_step,
-                ),
-                step,
-            )
-        if self.extra_w > 0 and step >= self.lease_expiry_step:
-            # Missed renewal: fall back to the guard-banded safe cap.
-            self._metrics.counter("controlplane.lease_expiries").inc()
-            self._trace.emit(
-                "cp-lease-expired",
-                {
-                    "node": self.node_id,
-                    "epoch": self.epoch,
-                    "lost_extra_w": self.extra_w,
-                    "step": step,
-                },
-            )
-            self.extra_w = 0.0
+            self._accept(message, step, network)
+        self._lease_clock(step)
         if (step + self.node_id) % self._config.heartbeat_every_steps == 0:
             network.send(
                 self.node_id,
@@ -271,6 +328,7 @@ class NodeAgent:
                     epoch=self.epoch,
                     extra_w=self.live_extra_w(step),
                     lease_expiry_step=self.lease_expiry_step,
+                    demand_w=self.demand_w,
                 ),
                 step,
             )
@@ -291,6 +349,9 @@ class _PendingRpc:
     grant: _Grant
     attempts: int
     next_retry_step: int
+    #: Step the first send happened, so a deadline-carrying RetryPolicy can
+    #: bound the whole sequence, not just the attempt count.
+    first_step: int = 0
 
 
 class ClusterController:
@@ -306,6 +367,12 @@ class ClusterController:
             it; the effective cap clamps).
         config: Protocol tunables.
         seed: Seed for the retry-jitter rng.
+        safe_cap_w: Override the computed guard-banded safe cap (a budget
+            tree pins every level's safe tier statically so the fallback
+            waterfall composes; ``None`` keeps the flat formula).
+        scope: Optional label added to trace payloads so events from many
+            stacked control planes stay distinguishable. Empty (the flat
+            default) adds nothing, keeping historical trace hashes.
     """
 
     def __init__(
@@ -319,6 +386,8 @@ class ClusterController:
         seed: int = 0,
         trace_bus: TraceBus = NULL_TRACE_BUS,
         metrics: MetricsRegistry | None = None,
+        safe_cap_w: float | None = None,
+        scope: str = "",
     ) -> None:
         if n_nodes < 1:
             raise NetworkError("controller needs at least one node")
@@ -333,15 +402,32 @@ class ClusterController:
         self._config = config
         self._trace = trace_bus
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._scope = scope
         self._rng = np.random.default_rng(seed)
-        self.safe_cap_w = self._quantize((1.0 - config.safe_guard_band) * budget_w / n_nodes)
+        if safe_cap_w is None:
+            safe_cap_w = self._quantize(
+                (1.0 - config.safe_guard_band) * budget_w / n_nodes
+            )
+        self.safe_cap_w = safe_cap_w
         if self.safe_cap_w <= 0:
             raise NetworkError(
                 f"budget {budget_w} W over {n_nodes} nodes leaves no safe cap "
                 f"at quantum {quantum_w} W"
             )
-        #: What the controller may hand out dynamically.
+        #: What the controller may hand out dynamically *unconditionally*
+        #: (its own budget minus the children's unconditional safe tier).
         self.extras_pool_w = budget_w - n_nodes * self.safe_cap_w
+        if self.extras_pool_w < -_EPS:
+            raise NetworkError(
+                f"safe caps {n_nodes} x {self.safe_cap_w} W exceed the "
+                f"budget {budget_w} W"
+            )
+        #: Leased headroom from upstream (a budget tree's delegation path):
+        #: spendable only until its expiry, never part of the safe tier.
+        self._bonus_w = 0.0
+        self._bonus_expiry_step = 0
+        self._has_bonus = False
+        self._hold_until = 0
         self._epoch = 0
         self._grants: list[dict[int, _Grant]] = [dict() for _ in range(n_nodes)]
         self._issued: list[_Grant | None] = [None] * n_nodes
@@ -350,20 +436,43 @@ class ClusterController:
         self._last_heard = [0] * n_nodes
         self._suspect = [False] * n_nodes
         self._reconcile = [False] * n_nodes
+        self._reported_demand = [0.0] * n_nodes
 
     # ------------------------------------------------------------- inspection
 
     def _quantize(self, value_w: float) -> float:
         return max(0.0, float(np.floor(value_w / self._quantum_w)) * self._quantum_w)
 
+    def _payload(self, payload: dict) -> dict:
+        """Label trace payloads with the mediation scope when one is set."""
+        if self._scope:
+            payload["scope"] = self._scope
+        return payload
+
     def outstanding_w(self, node: int, step: int) -> float:
         """The extra the controller must assume ``node`` may still enforce."""
         live = [g.extra_w for g in self._grants[node].values() if g.expiry_step > step]
         return max(live, default=0.0)
 
+    def total_outstanding_w(self, step: int) -> float:
+        """Sum of per-node outstanding extras (the whole level's exposure)."""
+        return float(
+            sum(self.outstanding_w(node, step) for node in range(self._n))
+        )
+
     def issued_epoch(self, node: int) -> int:
         grant = self._issued[node]
         return 0 if grant is None else grant.epoch
+
+    def in_safe_hold(self, step: int) -> bool:
+        """Whether the controller is still holding after a stale restore.
+
+        While held, the outstanding accounting may UNDER-count reality
+        (the dead incarnation's forgotten grants are still live out
+        there), so callers must not treat it as an upper bound until the
+        hold expires.
+        """
+        return step < self._hold_until
 
     def issued_extra_w(self, node: int) -> float:
         grant = self._issued[node]
@@ -375,6 +484,178 @@ class ClusterController:
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n
+
+    def reported_demand_w(self, node: int) -> float:
+        """Last heartbeat-reported demand for ``node`` (advisory)."""
+        return self._reported_demand[node]
+
+    def total_reported_demand_w(self) -> float:
+        """Aggregate heartbeat-reported demand across the fleet (advisory)."""
+        return float(sum(self._reported_demand))
+
+    # ----------------------------------------------------------- bonus lease
+
+    def bonus_w(self, step: int) -> float:
+        """The upstream-leased headroom still live at ``step``."""
+        if self._has_bonus and step < self._bonus_expiry_step:
+            return self._bonus_w
+        return 0.0
+
+    def set_bonus(self, extra_w: float, expiry_step: int) -> None:
+        """Adopt leased headroom from upstream.
+
+        Grants that dip into this bonus get their lease expiry clamped to
+        the bonus expiry, so when the upstream lease runs out every watt
+        issued against it is provably back - the level's outstanding total
+        collapses to its unconditional ``extras_pool_w`` (full argument in
+        DESIGN.md section 14).
+        """
+        if extra_w < 0:
+            raise NetworkError("bonus extra_w must be non-negative")
+        self._bonus_w = extra_w
+        self._bonus_expiry_step = expiry_step
+        self._has_bonus = True
+
+    # ----------------------------------------------------- crash/restart path
+
+    def state_dict(self) -> dict:
+        """Snapshot for the PR 2 checkpoint codecs (restores bit-exactly)."""
+        return {
+            "epoch": self._epoch,
+            "grants": [
+                {
+                    str(e): {
+                        "epoch": g.epoch,
+                        "extra_w": g.extra_w,
+                        "expiry_step": g.expiry_step,
+                    }
+                    for e, g in grants.items()
+                }
+                for grants in self._grants
+            ],
+            "issued": [
+                None
+                if g is None
+                else {
+                    "epoch": g.epoch,
+                    "extra_w": g.extra_w,
+                    "expiry_step": g.expiry_step,
+                }
+                for g in self._issued
+            ],
+            "pending": [
+                None
+                if p is None
+                else {
+                    "grant": {
+                        "epoch": p.grant.epoch,
+                        "extra_w": p.grant.extra_w,
+                        "expiry_step": p.grant.expiry_step,
+                    },
+                    "attempts": p.attempts,
+                    "next_retry_step": p.next_retry_step,
+                    "first_step": p.first_step,
+                }
+                for p in self._pending
+            ],
+            "reported_epoch": list(self._reported_epoch),
+            "last_heard": list(self._last_heard),
+            "suspect": list(self._suspect),
+            "reconcile": list(self._reconcile),
+            "reported_demand": list(self._reported_demand),
+            "bonus": {
+                "extra_w": self._bonus_w,
+                "expiry_step": self._bonus_expiry_step,
+                "has_bonus": self._has_bonus,
+            },
+            "hold_until": self._hold_until,
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot exactly."""
+
+        def _grant(doc: dict) -> _Grant:
+            return _Grant(
+                epoch=int(doc["epoch"]),
+                extra_w=float(doc["extra_w"]),
+                expiry_step=int(doc["expiry_step"]),
+            )
+
+        self._epoch = int(state["epoch"])
+        self._grants = [
+            {int(e): _grant(g) for e, g in grants.items()}
+            for grants in state["grants"]
+        ]
+        self._issued = [
+            None if g is None else _grant(g) for g in state["issued"]
+        ]
+        self._pending = [
+            None
+            if p is None
+            else _PendingRpc(
+                grant=_grant(p["grant"]),
+                attempts=int(p["attempts"]),
+                next_retry_step=int(p["next_retry_step"]),
+                first_step=int(p.get("first_step", 0)),
+            )
+            for p in state["pending"]
+        ]
+        self._reported_epoch = [int(e) for e in state["reported_epoch"]]
+        self._last_heard = [int(s) for s in state["last_heard"]]
+        self._suspect = [bool(s) for s in state["suspect"]]
+        self._reconcile = [bool(r) for r in state["reconcile"]]
+        self._reported_demand = [float(d) for d in state["reported_demand"]]
+        bonus = state["bonus"]
+        self._bonus_w = float(bonus["extra_w"])
+        self._bonus_expiry_step = int(bonus["expiry_step"])
+        self._has_bonus = bool(bonus["has_bonus"])
+        self._hold_until = int(state["hold_until"])
+        self._rng.bit_generator.state = state["rng"]
+
+    def restart(self, step: int, *, epochs_to_skip: int = 0) -> None:
+        """Enter the safe-hold posture after restoring a stale checkpoint.
+
+        A crashed-and-restored controller may have issued grants *after*
+        the checkpoint it came back from; those are real leases it no
+        longer remembers. Three defenses make the restored accounting a
+        superset of reality again within one lease:
+
+        * the epoch counter jumps past anything the dead incarnation could
+          have issued (``epochs_to_skip``, an upper bound the supervisor
+          computes from the checkpoint age), so no epoch is ever reused;
+        * issuance is suspended for ``lease_steps`` (the hold) - every
+          forgotten grant either expires in that window or shows up in a
+          heartbeat;
+        * during the hold, heartbeat-reported live grants the controller
+          does not know are adopted into the outstanding accounting
+          (see :meth:`_process_inbox`).
+
+        In-flight RPCs died with the process, so pending slots are cleared;
+        failure detection restarts from a fresh hearing at ``step``.
+        """
+        if epochs_to_skip < 0:
+            raise NetworkError("epochs_to_skip must be non-negative")
+        self._epoch += epochs_to_skip
+        self._hold_until = step + self._config.lease_steps
+        self._pending = [None] * self._n
+        self._reconcile = [False] * self._n
+        self._last_heard = [step] * self._n
+        self._metrics.counter("controlplane.restarts").inc()
+        self._trace.emit(
+            "cp-restart",
+            self._payload(
+                {
+                    "step": step,
+                    "hold_until": self._hold_until,
+                    "epoch": self._epoch,
+                }
+            ),
+        )
 
     # ------------------------------------------------------------------ step
 
@@ -396,18 +677,42 @@ class ClusterController:
                 self._suspect[node] = False
                 self._metrics.counter("controlplane.reintegrations").inc()
                 self._trace.emit(
-                    "cp-reintegrate", {"node": node, "step": step}
+                    "cp-reintegrate", self._payload({"node": node, "step": step})
                 )
+            if isinstance(message, Heartbeat):
+                self._reported_demand[node] = message.demand_w
+                if (
+                    step < self._hold_until
+                    and message.extra_w > _EPS
+                    and message.lease_expiry_step > step
+                    and message.epoch >= self._reported_epoch[node]
+                    and message.epoch not in self._grants[node]
+                ):
+                    # Safe-hold adoption: the node enforces a live grant a
+                    # stale checkpoint never heard of. Count it outstanding
+                    # (conservative - over-counting only withholds extras)
+                    # and keep the epoch counter above it.
+                    self._grants[node][message.epoch] = _Grant(
+                        epoch=message.epoch,
+                        extra_w=message.extra_w,
+                        expiry_step=message.lease_expiry_step,
+                    )
+                    if message.epoch > self.issued_epoch(node):
+                        self._issued[node] = self._grants[node][message.epoch]
+                    self._epoch = max(self._epoch, message.epoch)
+                    self._metrics.counter("controlplane.adoptions").inc()
             if isinstance(message, CapAck):
                 self._metrics.counter("controlplane.acks").inc()
                 self._trace.emit(
                     "cp-ack",
-                    {
-                        "node": node,
-                        "epoch": message.epoch,
-                        "rejected": message.rejected,
-                        "step": step,
-                    },
+                    self._payload(
+                        {
+                            "node": node,
+                            "epoch": message.epoch,
+                            "rejected": message.rejected,
+                            "step": step,
+                        }
+                    ),
                 )
             if message.epoch > self._reported_epoch[node]:
                 self._reported_epoch[node] = message.epoch
@@ -423,12 +728,15 @@ class ClusterController:
             issued = self._issued[node]
             if (
                 issued is not None
-                and message.epoch < issued.epoch
+                and reported < issued.epoch
                 and self._pending[node] is None
             ):
                 # The node missed our latest command and nothing is in
                 # flight for it any more (retries exhausted during a
                 # partition, say): reissue on the next distribution pass.
+                # Judged on the *highest* epoch the node ever reported, not
+                # this message's - a delayed duplicate of an old ack is not
+                # evidence that a newer grant was lost.
                 self._reconcile[node] = True
 
     def _prune_expired(self, step: int) -> None:
@@ -448,23 +756,31 @@ class ClusterController:
                 self._metrics.counter("controlplane.suspects").inc()
                 self._trace.emit(
                     "cp-suspect",
-                    {
-                        "node": node,
-                        "silent_steps": step - self._last_heard[node],
-                        "step": step,
-                    },
+                    self._payload(
+                        {
+                            "node": node,
+                            "silent_steps": step - self._last_heard[node],
+                            "step": step,
+                        }
+                    ),
                 )
 
     def _distribute(
         self, step: int, network: SimNetwork, loaded: frozenset[int]
     ) -> set[int]:
         """Issue new grants toward the even-share target, pool permitting."""
+        if step < self._hold_until:
+            # Safe-hold after a restart: no issuance until every grant the
+            # dead incarnation could have issued has expired or been
+            # adopted from heartbeats. Nodes whose leases lapse meanwhile
+            # fall back to their safe caps - degraded, never unsafe.
+            return set()
         healthy = [i for i in sorted(loaded) if not self._suspect[i]]
         outstanding = [self.outstanding_w(i, step) for i in range(self._n)]
-        free = self.extras_pool_w - sum(outstanding)
-        share = (
-            self._quantize(self.extras_pool_w / len(healthy)) if healthy else 0.0
-        )
+        total_outstanding = sum(outstanding)
+        pool = self.extras_pool_w + self.bonus_w(step)
+        free = pool - total_outstanding
+        share = self._quantize(pool / len(healthy)) if healthy else 0.0
         issued_now: set[int] = set()
         for node in range(self._n):
             if self._suspect[node]:
@@ -491,27 +807,49 @@ class ClusterController:
                 continue
             reconciled = self._reconcile[node]
             self._reconcile[node] = False
-            grant = self._issue(step, network, node, grantable)
+            growth = max(0.0, grantable - outstanding[node])
+            expiry_clamp = None
+            if (
+                self._has_bonus
+                and total_outstanding + growth > self.extras_pool_w + _EPS
+            ):
+                # This grant dips into the upstream bonus: its lease may
+                # not outlive the lease backing it.
+                expiry_clamp = self._bonus_expiry_step
+            grant = self._issue(
+                step, network, node, grantable, expiry_clamp=expiry_clamp
+            )
             issued_now.add(node)
             if reconciled:
                 self._metrics.counter("controlplane.reconciliations").inc()
                 self._trace.emit(
                     "cp-reconcile",
-                    {"node": node, "epoch": grant.epoch, "step": step},
+                    self._payload(
+                        {"node": node, "epoch": grant.epoch, "step": step}
+                    ),
                 )
-            growth = max(0.0, grantable - outstanding[node])
             free -= growth
+            total_outstanding += growth
             outstanding[node] = max(outstanding[node], grantable)
         return issued_now
 
     def _issue(
-        self, step: int, network: SimNetwork, node: int, extra_w: float
+        self,
+        step: int,
+        network: SimNetwork,
+        node: int,
+        extra_w: float,
+        *,
+        expiry_clamp: int | None = None,
     ) -> _Grant:
         self._epoch += 1
+        expiry = step + self._config.lease_steps
+        if expiry_clamp is not None:
+            expiry = min(expiry, expiry_clamp)
         grant = _Grant(
             epoch=self._epoch,
             extra_w=extra_w,
-            expiry_step=step + self._config.lease_steps,
+            expiry_step=expiry,
         )
         if extra_w > _EPS:
             self._grants[node][grant.epoch] = grant
@@ -521,6 +859,7 @@ class ClusterController:
             attempts=1,
             next_retry_step=step
             + self._config.retry.backoff_ticks(1, self._rng),
+            first_step=step,
         )
         self._send(step, network, node, grant, attempt=1)
         return grant
@@ -533,14 +872,16 @@ class ClusterController:
             self._metrics.counter("controlplane.retries").inc()
         self._trace.emit(
             "cp-command",
-            {
-                "node": node,
-                "epoch": grant.epoch,
-                "extra_w": grant.extra_w,
-                "lease_expiry_step": grant.expiry_step,
-                "attempt": attempt,
-                "step": step,
-            },
+            self._payload(
+                {
+                    "node": node,
+                    "epoch": grant.epoch,
+                    "extra_w": grant.extra_w,
+                    "lease_expiry_step": grant.expiry_step,
+                    "attempt": attempt,
+                    "step": step,
+                }
+            ),
         )
         network.send(
             CONTROLLER,
@@ -563,14 +904,20 @@ class ClusterController:
             pending = self._pending[node]
             if pending is None or step < pending.next_retry_step:
                 continue
-            if self._config.retry.exhausted(pending.attempts):
+            elapsed = step - pending.first_step
+            try:
+                self._config.retry.require(
+                    pending.attempts, elapsed, what=f"SetCap rpc to node {node}"
+                )
+            except RetryExhaustedError:
                 # Park: anti-entropy (heartbeat evidence) will reissue.
                 self._pending[node] = None
                 self._metrics.counter("controlplane.rpc_exhausted").inc()
+                self._metrics.counter("retry.exhausted").inc()
                 continue
             pending.attempts += 1
             pending.next_retry_step = step + self._config.retry.backoff_ticks(
-                pending.attempts, self._rng
+                pending.attempts, self._rng, elapsed_ticks=elapsed
             )
             self._send(step, network, node, pending.grant, attempt=pending.attempts)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import RetryExhaustedError
 from repro.observability.metrics import MetricsRegistry
 from repro.server.config import KnobSetting
 from repro.server.knobs import KnobController
@@ -55,6 +56,10 @@ class ResilienceConfig:
             draw.
         max_actuation_attempts: Verified-write attempts per app before the
             retrier escalates to suspension.
+        actuation_deadline_ticks: Optional total tick budget for one app's
+            retry sequence; when set, the retrier escalates to suspension
+            once the sequence has been outstanding this long even if
+            attempts remain (``None`` keeps the attempts-only default).
     """
 
     stale_threshold: int = 3
@@ -62,6 +67,7 @@ class ResilienceConfig:
     degraded_guard_band: float = 0.10
     conservative_inflation: float = 1.15
     max_actuation_attempts: int = 4
+    actuation_deadline_ticks: int | None = None
 
 
 @dataclass
@@ -274,6 +280,7 @@ class _RetryState:
     desired: KnobSetting
     attempts: int
     next_retry_tick: int
+    first_tick: int = 0
 
 
 class ActuationRetrier:
@@ -296,6 +303,7 @@ class ActuationRetrier:
             base_ticks=1,
             max_attempts=config.max_actuation_attempts,
             jitter_ticks=0,
+            deadline_ticks=config.actuation_deadline_ticks,
         )
         self._pending: dict[str, _RetryState] = {}
         self._tick = 0
@@ -315,6 +323,7 @@ class ActuationRetrier:
                     "desired": st.desired.to_json(),
                     "attempts": st.attempts,
                     "next_retry_tick": st.next_retry_tick,
+                    "first_tick": st.first_tick,
                 }
                 for app, st in self._pending.items()
             },
@@ -328,6 +337,7 @@ class ActuationRetrier:
                 desired=KnobSetting.from_json(st["desired"]),
                 attempts=int(st["attempts"]),
                 next_retry_tick=int(st["next_retry_tick"]),
+                first_tick=int(st.get("first_tick", 0)),
             )
             for app, st in state["pending"].items()
         }
@@ -351,7 +361,10 @@ class ActuationRetrier:
             state = self._pending.get(app)
             if state is None or state.desired != desired:
                 self._pending[app] = _RetryState(
-                    desired=desired, attempts=1, next_retry_tick=self._tick + 1
+                    desired=desired,
+                    attempts=1,
+                    next_retry_tick=self._tick + 1,
+                    first_tick=self._tick,
                 )
 
         verified: list[str] = []
@@ -370,16 +383,22 @@ class ActuationRetrier:
                 del self._pending[app]
                 continue
             state.attempts += 1
-            if self._policy.exhausted(state.attempts):
+            elapsed = self._tick - state.first_tick
+            try:
+                self._policy.require(
+                    state.attempts, elapsed, what=f"knob write for {app}"
+                )
+            except RetryExhaustedError:
                 # Give up on RAPL: signals always work.
                 self._knobs.suspend(app)
                 self._knobs.clear_failed_write(app)
                 stats.actuation_escalations += 1
+                stats.registry.counter("retry.exhausted").inc()
                 escalated.append(app)
                 del self._pending[app]
             else:
                 state.next_retry_tick = self._tick + self._policy.backoff_ticks(
-                    state.attempts
+                    state.attempts, elapsed_ticks=elapsed
                 )
         return verified, escalated
 

@@ -166,6 +166,17 @@ class AdversaryError(ReproError):
     """
 
 
+class RetryExhaustedError(ReproError):
+    """A retried operation ran out of its attempt or deadline budget.
+
+    Raised by :meth:`repro.util.retry.RetryPolicy.require` when either the
+    bounded attempt count or the total-deadline tick budget is spent. The
+    message is a single line naming the operation and which budget ran out,
+    so callers that degrade gracefully (actuation escalation, control-plane
+    safe-cap fallback) can log it verbatim before parking the work.
+    """
+
+
 class ChaosError(ReproError):
     """A chaos-soak run violated a recovery invariant.
 

@@ -11,6 +11,7 @@ reproducibly.
 from repro.faults.injector import FaultInjector, FaultTransition
 from repro.faults.plan import (
     FAULT_MODES,
+    SCOPED_KINDS,
     FaultPlan,
     FaultSpec,
     default_fault_plan,
@@ -18,6 +19,7 @@ from repro.faults.plan import (
 
 __all__ = [
     "FAULT_MODES",
+    "SCOPED_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.plan import SCOPED_KINDS, FaultPlan, FaultSpec
 from repro.server.config import KnobSetting
 from repro.server.server import SimulatedServer
 
@@ -149,10 +149,11 @@ class FaultInjector:
         crashed: list[str] = []
         transitions: list[FaultTransition] = []
         for idx, spec in enumerate(self._plan.specs):
-            if spec.kind == "node":
-                # Cluster-scope fault: a whole server dies. The per-server
-                # injector has no server *set* to act on; the cluster layer
-                # converts these specs into NodeOutage windows instead.
+            if spec.kind in SCOPED_KINDS:
+                # Cluster- or hierarchy-scope fault: a whole server, PDU, or
+                # rack dies. The per-server injector has no server *set* to
+                # act on; the cluster and hierarchy layers convert these
+                # specs into outage windows instead.
                 continue
             if spec.instantaneous:
                 if idx not in self._fired and now_s >= spec.start_s:

@@ -26,18 +26,23 @@ battery   fade         capacity permanently scaled by ``1 - magnitude``
 app       crash        the target exits unexpectedly (forced E3, once)
 app       hang         the target stops progressing but keeps drawing power
 node      outage       a whole cluster server is down (cluster scope)
+pdu       outage       a whole PDU-level subtree is dark (hierarchy scope)
+rack      outage       a whole rack-level subtree is dark (hierarchy scope)
 ======== ============ ====================================================
 
 ``target`` names the affected application for ``app`` faults (``None``
 resolves to the alphabetically first managed application at fire time, which
 keeps canned plans independent of any specific mix). For ``node`` faults the
-target is the failed server's index as a decimal string; the per-server
-:class:`~repro.faults.injector.FaultInjector` skips ``node`` specs entirely -
-they are consumed by the cluster layer
-(:func:`~repro.cluster.cluster.outages_from_fault_plan`), which converts them
-into :class:`~repro.cluster.cluster.NodeOutage` windows so one plan file can
-describe single-server substrate faults and cluster-level node kills
-together.
+target is the failed server's index as a decimal string; for ``pdu`` and
+``rack`` faults it is the failure domain's dotted tree path (``"2"``,
+``"2.0"``). The per-server
+:class:`~repro.faults.injector.FaultInjector` skips all three entirely -
+``node`` specs are consumed by the cluster layer
+(:func:`~repro.cluster.cluster.outages_from_fault_plan`) and the
+failure-domain specs by the hierarchy layer
+(:func:`~repro.hierarchy.tree.subtree_outages_from_fault_plan`) - so one
+plan file can describe single-server substrate faults, cluster-level node
+kills, and datacenter failure domains together.
 """
 
 from __future__ import annotations
@@ -59,7 +64,13 @@ FAULT_MODES: dict[str, tuple[str, ...]] = {
     "battery": ("outage", "derate", "fade"),
     "app": ("crash", "hang"),
     "node": ("outage",),
+    "pdu": ("outage",),
+    "rack": ("outage",),
 }
+
+#: Kinds the per-server injector never handles itself (consumed by the
+#: cluster / hierarchy layers, which convert them to outage windows).
+SCOPED_KINDS = frozenset({"node", "pdu", "rack"})
 
 #: Modes that fire once at ``start_s`` instead of spanning a window.
 INSTANT_MODES = {("app", "crash"), ("battery", "fade")}
@@ -120,6 +131,13 @@ class FaultSpec:
                 raise FaultError(
                     "node/outage target must be the failed server's index "
                     f"as a decimal string, got {self.target!r}"
+                )
+        if self.kind in ("pdu", "rack"):
+            parts = self.target.split(".") if self.target else []
+            if not parts or not all(p.isdigit() for p in parts):
+                raise FaultError(
+                    f"{self.kind}/outage target must be the failure domain's "
+                    f"dotted tree path like '2' or '2.0', got {self.target!r}"
                 )
 
     @property

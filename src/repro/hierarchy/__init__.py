@@ -1,0 +1,40 @@
+"""Hierarchical budget mediation: datacenter -> PDU -> rack -> server.
+
+A :class:`~repro.hierarchy.tree.TreeSpec` stacks the flat cluster control
+plane (:mod:`repro.cluster.controlplane`) into levels: every interior node
+leases watts downward over its own simulated network and aggregates
+demand telemetry upward, and the whole tree degrades domain-by-domain -
+a partitioned or orphaned subtree falls back to its statically carved
+safe tier and keeps mediating its children.
+"""
+
+from repro.hierarchy.node import MediationNode, SubtreeAgent
+from repro.hierarchy.runner import (
+    BudgetTreeSimulator,
+    HierarchyOutcome,
+    run_budget_tree,
+)
+from repro.hierarchy.tree import (
+    SubtreeOutage,
+    TreeSpec,
+    TreeTopology,
+    format_path,
+    parse_path,
+    subtree_outages_from_fault_plan,
+    validate_subtree_outages,
+)
+
+__all__ = [
+    "BudgetTreeSimulator",
+    "HierarchyOutcome",
+    "MediationNode",
+    "SubtreeAgent",
+    "SubtreeOutage",
+    "TreeSpec",
+    "TreeTopology",
+    "format_path",
+    "parse_path",
+    "run_budget_tree",
+    "subtree_outages_from_fault_plan",
+    "validate_subtree_outages",
+]

@@ -1,0 +1,267 @@
+"""One budget-tree node: agent toward the parent, controller toward children.
+
+An interior node of the tree is *both* halves of the flat control plane at
+once: a :class:`SubtreeAgent` (a :class:`~repro.cluster.controlplane.NodeAgent`
+subclass) speaking the lease protocol up to its parent, and an unmodified
+:class:`~repro.cluster.controlplane.ClusterController` distributing the
+node's budget down to its children over the node's own
+:class:`~repro.netsim.network.SimNetwork`. :class:`MediationNode` glues the
+two together, refreshing the controller's bonus lease from the agent's
+journaled grant every step.
+
+The one protocol difference an interior endpoint needs is the **deferred
+shrink**: a leaf can adopt a smaller grant the instant it arrives, but an
+interior node may have sub-leased the watts being taken away. Acking the
+shrink immediately would let the parent redistribute those watts while
+children still hold leases on them - a real double-spend. "Shrink" here
+covers both dimensions of a lease: fewer watts, and an *earlier expiry* -
+a grant that moves the lease horizon backward (the parent clamped it to
+its own upstream bonus) would strand downstream grants that were clamped
+to the old, later horizon. So the subtree agent keeps enforcing (and
+reporting) the old grant until the new one is downstream-safe - the watts
+outstanding fit the post-shrink budget AND nothing outstanding outlives
+the new expiry beyond the node's unconditional pool - then adopts and
+acks. The parent keeps the old grant in its outstanding accounting the
+whole time (it was never acked away), so the global invariant never
+wobbles; convergence takes at most one child-lease lifetime because
+issuance immediately drops to the pending target
+(:meth:`SubtreeAgent.issuance_extra_w`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.controlplane import (
+    ClusterController,
+    ControlPlaneConfig,
+    NodeAgent,
+    SetCapCmd,
+)
+from repro.hierarchy.tree import Path, TreeTopology, format_path
+from repro.netsim.network import CONTROLLER, NetConfig, SimNetwork
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.trace import NULL_TRACE_BUS, TraceBus
+
+__all__ = ["MediationNode", "SubtreeAgent"]
+
+_EPS = 1e-6
+
+
+class SubtreeAgent(NodeAgent):
+    """An interior node's endpoint toward its parent.
+
+    Identical to a leaf agent except for shrink deferral; grows and
+    renewals apply immediately, so a tree of depth one behaves exactly
+    like the flat plane (leaves never defer - they use the base class).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        *,
+        safe_cap_w: float,
+        rated_cap_w: float,
+        config: ControlPlaneConfig,
+        trace_bus: TraceBus = NULL_TRACE_BUS,
+        metrics: MetricsRegistry | None = None,
+        scope: str = "",
+    ) -> None:
+        super().__init__(
+            node_id,
+            safe_cap_w=safe_cap_w,
+            rated_cap_w=rated_cap_w,
+            config=config,
+            trace_bus=trace_bus,
+            metrics=metrics,
+            scope=scope,
+        )
+        self._deferred: SetCapCmd | None = None
+        #: ``(new_extra_w, new_expiry_step, step) -> bool`` - whether the
+        #: node's own level can already live within the post-shrink budget
+        #: and horizon. Wired by the owning :class:`MediationNode` (it needs
+        #: the controller, which needs the network, which needs... so it
+        #: cannot be a constructor argument).
+        self.downstream_fits: Callable[[float, int, int], bool] | None = None
+
+    @property
+    def deferred_epoch(self) -> int | None:
+        """Epoch of the shrink being deferred, if any (for tests/telemetry)."""
+        return None if self._deferred is None else self._deferred.epoch
+
+    def issuance_extra_w(self, step: int) -> float:
+        """The bonus the node's controller may *issue against* at ``step``.
+
+        While a shrink is deferred this is the post-shrink target (never
+        hand out watts about to be reclaimed), though the node still
+        *enforces* the old grant. Without a deferral it is simply the live
+        extra.
+        """
+        live = self.live_extra_w(step)
+        if self._deferred is not None:
+            return min(live, self._deferred.extra_w)
+        return live
+
+    def _accept(self, message: SetCapCmd, step: int, network: SimNetwork) -> None:
+        live = self.live_extra_w(step)
+        grows = message.extra_w >= live - _EPS
+        # A live lease's horizon must never move backward under the node's
+        # feet: grants issued downstream were expiry-clamped to the horizon
+        # in force, and a shorter one would strand them past the new lease.
+        keeps_horizon = (
+            live <= _EPS or message.lease_expiry_step >= self.lease_expiry_step
+        )
+        if grows and keeps_horizon:
+            # Plain grow or renewal: adopt immediately, like any leaf. A
+            # newer grow supersedes an older deferred shrink outright.
+            if self._deferred is not None and message.epoch >= self._deferred.epoch:
+                self._deferred = None
+            super()._accept(message, step, network)
+            return
+        if self._deferred is None or message.epoch >= self._deferred.epoch:
+            self._deferred = message
+            self._metrics.counter("hierarchy.deferred_shrinks").inc()
+
+    def _try_apply_deferred(self, step: int, network: SimNetwork) -> None:
+        if self._deferred is None or not self.up:
+            return
+        cmd = self._deferred
+        if cmd.epoch < self.epoch:
+            self._deferred = None  # superseded while waiting
+            return
+        if self.downstream_fits is None or self.downstream_fits(
+            cmd.extra_w, cmd.lease_expiry_step, step
+        ):
+            self._deferred = None
+            super()._accept(cmd, step, network)
+
+    def step(self, step: int, network: SimNetwork) -> None:
+        if not self.up:
+            # A crashed node's deferred command was process state, not
+            # journal state: it dies with the process. The parent's retries
+            # and anti-entropy will re-deliver the target after recovery.
+            self._deferred = None
+        super().step(step, network)
+        self._try_apply_deferred(step, network)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["deferred"] = (
+            None
+            if self._deferred is None
+            else {
+                "node": self._deferred.node,
+                "epoch": self._deferred.epoch,
+                "extra_w": self._deferred.extra_w,
+                "lease_expiry_step": self._deferred.lease_expiry_step,
+            }
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        doc = state.get("deferred")
+        self._deferred = (
+            None
+            if doc is None
+            else SetCapCmd(
+                node=int(doc["node"]),
+                epoch=int(doc["epoch"]),
+                extra_w=float(doc["extra_w"]),
+                lease_expiry_step=int(doc["lease_expiry_step"]),
+            )
+        )
+
+
+class MediationNode:
+    """One interior node: its downlink network, controller, uplink agent.
+
+    Args:
+        path: The node's tree path (``()`` for the root).
+        topology: The computed tree structure (safe tiers included).
+        net: The downlink network behaviour for this node's children.
+        config: Protocol tunables (shared by every level).
+        scope: Trace-payload label; empty for degenerate depth-1 trees so
+            they hash identically to the flat plane.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        topology: TreeTopology,
+        *,
+        net: NetConfig,
+        config: ControlPlaneConfig,
+        trace_bus: TraceBus = NULL_TRACE_BUS,
+        metrics: MetricsRegistry | None = None,
+        scope: str = "",
+        rated_leaf_cap_w: float = float("inf"),
+    ) -> None:
+        self.path = path
+        self.scope = scope
+        fanout = topology.fanout_at(path)
+        child_safe = topology.safe_caps_w[path + (0,)]
+        self.network = SimNetwork(net, fanout)
+        self.controller = ClusterController(
+            fanout,
+            topology.safe_caps_w[path],
+            quantum_w=topology.spec.quantum_w,
+            rated_cap_w=(
+                rated_leaf_cap_w
+                if len(path) + 1 == topology.depth
+                else float("inf")
+            ),
+            config=config,
+            seed=net.seed,
+            trace_bus=trace_bus,
+            metrics=metrics,
+            safe_cap_w=child_safe,
+            scope=scope,
+        )
+        #: The uplink endpoint; ``None`` at the root (set by the builder).
+        self.agent: SubtreeAgent | None = None
+        self._config = config
+
+    @property
+    def n_children(self) -> int:
+        return self.controller.n_nodes
+
+    def enforced_budget_w(self, step: int) -> float:
+        """The budget this node may distribute at ``step``.
+
+        The root's budget is unconditional; everyone else's is their static
+        safe cap plus whatever upstream lease their agent still enforces.
+        """
+        if self.agent is None:
+            return self.controller.budget_w
+        return self.agent.effective_cap_w(step)
+
+    def step_controller(
+        self, step: int, loaded_children: frozenset[int], *, up: bool = True
+    ) -> None:
+        """Advance the downlink half by one step.
+
+        A down controller loses its inbox (the crashed process's memory)
+        but the network keeps flowing - children heartbeat into the void
+        and their leases keep expiring on their own clocks.
+        """
+        if not up:
+            self.network.deliver(CONTROLLER, step)
+            return
+        if self.agent is not None:
+            self.controller.set_bonus(
+                self.agent.issuance_extra_w(step), self.agent.lease_expiry_step
+            )
+        self.controller.step(step, self.network, loaded_children)
+
+    def state_dict(self) -> dict:
+        return {
+            "path": format_path(self.path),
+            "controller": self.controller.state_dict(),
+            "agent": None if self.agent is None else self.agent.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.controller.load_state_dict(state["controller"])
+        if self.agent is not None and state.get("agent") is not None:
+            self.agent.load_state_dict(state["agent"])

@@ -41,6 +41,7 @@ __all__ = [
     "TRACE_SCHEMA_VERSION",
     "CONTROL_PLANE_KINDS",
     "ADVERSARY_KINDS",
+    "HIERARCHY_KINDS",
     "TraceEvent",
     "TraceBus",
     "NullTraceBus",
@@ -85,6 +86,13 @@ SIM_KINDS = frozenset(
         "cp-suspect",  # heartbeat loss made the controller suspect a node
         "cp-reintegrate",  # a suspect node's heartbeat returned
         "cp-reconcile",  # anti-entropy reissued state after a heal
+        "cp-restart",  # a controller came back from a checkpoint (safe hold)
+        "hier-fallback",  # a subtree lost its upstream lease (autonomous mode)
+        "hier-heal",  # a fallen-back subtree re-acquired an upstream lease
+        "hier-outage",  # a pdu/rack failure-domain outage window opened
+        "hier-recover",  # a failure-domain outage window closed
+        "hier-restart",  # an interior controller warm-restarted from checkpoint
+        "hier-level",  # one budget-tree run summary per level
         "client-connect",  # a service client session opened (or churned in)
         "client-disconnect",  # a client session dropped (churned out)
         "client-replay",  # a reconnecting client replayed missed deliveries
@@ -106,6 +114,9 @@ CONTROL_PLANE_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("cp-"))
 
 #: Adversary/defense event kinds (the ``adv-`` prefix), for display grouping.
 ADVERSARY_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("adv-"))
+
+#: Budget-tree event kinds (the ``hier-`` prefix), for display grouping.
+HIERARCHY_KINDS = frozenset(k for k in SIM_KINDS if k.startswith("hier-"))
 
 META_KINDS = frozenset({"trace-header", "checkpoint", "crash", "restore", "replayed"})
 

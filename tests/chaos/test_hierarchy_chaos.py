@@ -1,0 +1,121 @@
+"""Hierarchy-chaos soaks: failure-domain containment under composed faults.
+
+The quick tier always runs a few composed tree schedules; the full
+acceptance matrix (12 seeds, loss up to 30%, domain outages composed with
+root partitions, leaf kills, and stale-checkpoint controller restarts) is
+opt-in via ``REPRO_SOAK=1`` and runs in CI's hierarchy-soak job.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.chaos import (
+    run_hierarchy_chaos,
+    run_hierarchy_soak,
+    subtree_outage_schedule,
+)
+from repro.errors import ChaosError, ConfigurationError
+from repro.hierarchy import validate_subtree_outages
+
+SOAK = os.environ.get("REPRO_SOAK") == "1"
+
+
+class TestOutageSchedule:
+    def test_deterministic(self):
+        interior = [(0,), (1,), (2,)]
+        a = subtree_outage_schedule(
+            100, interior, outages=3, max_down_steps=20, seed=5
+        )
+        assert a == subtree_outage_schedule(
+            100, interior, outages=3, max_down_steps=20, seed=5
+        )
+
+    def test_windows_stay_inside_trace_and_never_nest(self):
+        from repro.cluster.controlplane import ControlPlaneConfig
+        from repro.hierarchy import TreeSpec, TreeTopology
+
+        topo = TreeTopology(
+            spec=TreeSpec(fanouts=(2, 3, 2), budget_w=6000.0),
+            config=ControlPlaneConfig(),
+        )
+        interior = [p for p in topo.interior_paths() if p]
+        for seed in range(10):
+            outages = subtree_outage_schedule(
+                100, interior, outages=4, max_down_steps=25, seed=seed
+            )
+            # validate raising would mean a nested overlap slipped through.
+            validate_subtree_outages(outages, topo, n_steps=100)
+            assert all(o.end_step <= 100 for o in outages)
+
+    def test_empty_inputs_yield_no_outages(self):
+        assert subtree_outage_schedule(100, [], outages=2, max_down_steps=10, seed=0) == ()
+        assert subtree_outage_schedule(100, [(0,)], outages=0, max_down_steps=10, seed=0) == ()
+
+
+class TestQuickChaos:
+    def test_composed_run_holds_every_promise(self):
+        result = run_hierarchy_chaos(seed=7, fanouts=(3, 4), n_steps=100)
+        assert result.headroom_w >= 0.0
+        assert result.domain_outages > 0
+        assert result.restarts >= 1
+        assert result.min_sibling_ratio >= 0.75
+        # The schedule actually hurt: subtrees lost and re-acquired leases.
+        assert result.fallbacks > 0 and result.heals > 0
+
+    def test_depth_three_tree_survives(self):
+        result = run_hierarchy_chaos(
+            seed=3, fanouts=(2, 3, 2), budget_w=6000.0, n_steps=100
+        )
+        assert result.headroom_w >= 0.0
+        assert result.n_leaves == 12
+
+    def test_small_severity_sweep(self):
+        soak = run_hierarchy_soak(seeds=[0, 1, 2], fanouts=(2, 3), n_steps=80)
+        assert len(soak.runs) == 3
+        assert soak.min_headroom_w >= 0.0
+        assert soak.runs[0].loss < soak.runs[-1].loss == pytest.approx(0.3)
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            run_hierarchy_chaos(seed=0, loss=1.0)
+        with pytest.raises(ConfigurationError):
+            run_hierarchy_soak(seeds=[])
+
+    def test_zombie_detection_raises_chaoserror(self, monkeypatch):
+        from repro.hierarchy import BudgetTreeSimulator
+
+        monkeypatch.setattr(
+            BudgetTreeSimulator, "zombie_free", lambda self, step: False
+        )
+        with pytest.raises(ChaosError, match="zombie|lease"):
+            run_hierarchy_chaos(seed=0, fanouts=(2, 2), n_steps=60)
+
+
+@pytest.mark.skipif(not SOAK, reason="set REPRO_SOAK=1 to run the full soak")
+class TestAcceptanceSoak:
+    def test_twelve_seeds_full_severity(self):
+        # The acceptance matrix: 12 seeded schedules against a 3-level,
+        # 24-server tree, loss up to 30%, domain outages at PDU and rack
+        # levels composed with root partitions, leaf kills, and
+        # stale-checkpoint controller restarts.
+        soak = run_hierarchy_soak(
+            seeds=list(range(12)),
+            fanouts=(2, 3, 4),
+            budget_w=12000.0,
+            n_steps=120,
+            max_loss=0.3,
+            domain_outages=2,
+            controller_kills=1,
+        )
+        assert len(soak.runs) == 12
+        assert soak.min_headroom_w >= 0.0
+        assert soak.min_sibling_ratio >= 0.75
+        assert soak.total_domain_outages > 0
+        assert soak.total_restarts > 0
+        out = os.environ.get("REPRO_SOAK_REPORT")
+        if out:
+            with open(out, "w", encoding="utf-8") as handle:
+                json.dump(soak.report(), handle, indent=2, sort_keys=True)
+                handle.write("\n")

@@ -150,6 +150,115 @@ class TestLeasesAndEpochs:
         assert agent.extra_w == 0.0
 
 
+class TestLeaseExpiryEdges:
+    """The awkward ticks: expiry meeting heal, flapping, stale duplicates."""
+
+    def test_renewal_on_expiry_tick_replaces_dead_lease_atomically(self):
+        # A heal that delivers the renewal on the very tick the old lease
+        # dies must never produce a step where both grants count - and
+        # never a gap where the node is stuck at safe cap despite the
+        # renewal having landed.
+        agent = NodeAgent(
+            0, safe_cap_w=50.0, rated_cap_w=200.0, config=ControlPlaneConfig()
+        )
+        net = SimNetwork(NetConfig(), n_nodes=1)
+        net.send(CONTROLLER, 0, SetCapCmd(0, epoch=1, extra_w=30.0, lease_expiry_step=10), 0)
+        agent.step(1, net)
+        assert agent.effective_cap_w(9) == 80.0
+        # Dead on the agent's own clock at exactly the expiry step.
+        assert agent.effective_cap_w(10) == 50.0
+        net.send(CONTROLLER, 0, SetCapCmd(0, epoch=2, extra_w=40.0, lease_expiry_step=25), 9)
+        agent.step(10, net)
+        assert agent.epoch == 2
+        assert agent.live_extra_w(10) == 40.0
+        assert agent.effective_cap_w(10) == 90.0
+
+    def test_pool_frees_on_the_exact_tick_the_lease_dies(self):
+        # Both sides use strict ``expiry > step``: the controller reclaims
+        # the watts on the same tick the agent stops enforcing them, so
+        # there is neither a double-spend window nor a dead-watt gap.
+        config = ControlPlaneConfig()
+        controller = ClusterController(
+            2, 200.0, quantum_w=2.0, rated_cap_w=200.0, config=config
+        )
+        net = SimNetwork(NetConfig(), n_nodes=2)
+        controller.step(0, net, loaded=frozenset({0, 1}))
+        expiry = config.lease_steps  # grants issued at step 0
+        assert controller.outstanding_w(0, expiry - 1) > 0
+        assert controller.outstanding_w(0, expiry) == 0.0
+
+    def test_heartbeat_flapping_across_detection_threshold(self):
+        # Node 0 blinks in bursts shorter and longer than the suspicion
+        # threshold. Whatever the detector decides on each blink, the
+        # budget must hold every step and the fleet must settle evenly
+        # once the flapping stops.
+        steps = 120
+        blinks = [(40, 44), (48, 55), (58, 61), (64, 72)]
+        down = [
+            frozenset({0}) if any(a <= t < b for a, b in blinks) else frozenset()
+            for t in range(steps)
+        ]
+        metrics = MetricsRegistry()
+        out = clean_run(
+            steps=steps, down_sets=down, net=NetConfig(seed=6), metrics=metrics
+        )
+        for row in out.caps_w:
+            assert sum(row) <= out.budget_w + 1e-6
+        # The long blinks cross the threshold; each suspicion must be
+        # matched by a reintegration once the node blinks back on.
+        assert metrics.counter("controlplane.suspects").value >= 1
+        assert (
+            metrics.counter("controlplane.reintegrations").value
+            == metrics.counter("controlplane.suspects").value
+        )
+        assert out.caps_w[-1] == (100.0,) * 4
+
+    def test_duplicate_ack_after_epoch_bump_is_a_no_op(self):
+        # The network duplicates the epoch-1 ack and delivers the copy
+        # after the node already acked the epoch-2 renewal. The stale
+        # duplicate is not evidence of a lost grant: no reconciliation
+        # reissue, no epoch churn.
+        config = ControlPlaneConfig()
+        controller = ClusterController(
+            1, 100.0, quantum_w=2.0, rated_cap_w=100.0, config=config
+        )
+        net = SimNetwork(NetConfig(), n_nodes=1)
+
+        def pump(step):
+            """Play the node: ack every command, heartbeat the rest."""
+            acks = []
+            for _, m in net.deliver(0, step):
+                if isinstance(m, SetCapCmd):
+                    ack = CapAck(
+                        node=0,
+                        epoch=m.epoch,
+                        extra_w=m.extra_w,
+                        lease_expiry_step=m.lease_expiry_step,
+                    )
+                    net.send(0, CONTROLLER, ack, step)
+                    acks.append(ack)
+            return acks
+
+        acked = []
+        for step in range(9):
+            acked += pump(step)
+            controller.step(step, net, loaded=frozenset({0}))
+        # The initial grant was acked, then its renewal under a new epoch.
+        assert len(acked) >= 2 and acked[-1].epoch > acked[0].epoch
+        settled_epoch = controller.issued_epoch(0)
+        assert settled_epoch == acked[-1].epoch
+        # Deliver the duplicate of the old ack after the bump.
+        net.send(0, CONTROLLER, acked[0], 8)
+        controller.step(9, net, loaded=frozenset({0}))
+        assert controller.issued_epoch(0) == settled_epoch
+        reissues = [
+            m
+            for _, m in net.deliver(0, 11)
+            if isinstance(m, SetCapCmd) and m.epoch > settled_epoch
+        ]
+        assert reissues == []
+
+
 class TestFailureDetection:
     def test_dead_node_is_suspected_and_pool_reclaimed(self):
         steps = 60
@@ -246,6 +355,20 @@ class TestControllerAccounting:
             controller.outstanding_w(0, 1) + controller.outstanding_w(1, 1)
             <= controller.extras_pool_w + 1e-9
         )
+
+    def test_restart_hold_is_visible_and_bounded(self):
+        # During the hold the outstanding accounting may under-count the
+        # dead incarnation's grants, so callers (the hierarchy's deferred
+        # shrink gate) must be able to see exactly when it ends.
+        config = ControlPlaneConfig()
+        controller = ClusterController(
+            2, 200.0, quantum_w=2.0, rated_cap_w=200.0, config=config
+        )
+        assert not controller.in_safe_hold(0)
+        controller.restart(5, epochs_to_skip=4)
+        assert controller.in_safe_hold(5)
+        assert controller.in_safe_hold(5 + config.lease_steps - 1)
+        assert not controller.in_safe_hold(5 + config.lease_steps)
 
     def test_grow_waits_for_free_pool(self):
         # One node holds the whole pool; the controller must not grow the

@@ -83,12 +83,19 @@ class TestScheduleValidation:
         (clamped,) = validate_outages(outages, n_steps=50, n_servers=10)
         assert clamped == NodeOutage(server=0, start_step=40, end_step=50)
 
-    def test_fully_out_of_trace_and_fleet_are_dropped(self):
+    def test_fully_out_of_trace_is_dropped(self):
+        outages = (NodeOutage(server=0, start_step=50, end_step=60),)
+        assert validate_outages(outages, n_steps=50, n_servers=10) == ()
+
+    def test_unknown_server_is_rejected_naming_the_id(self):
         outages = (
-            NodeOutage(server=0, start_step=50, end_step=60),  # past trace
+            NodeOutage(server=0, start_step=0, end_step=10),
             NodeOutage(server=99, start_step=0, end_step=10),  # past fleet
         )
-        assert validate_outages(outages, n_steps=50, n_servers=10) == ()
+        with pytest.raises(
+            ConfigurationError, match=r"outages\[1\]\.server: server 99"
+        ):
+            validate_outages(outages, n_steps=50, n_servers=10)
 
     def test_run_rejects_same_server_overlap(self, sim, trace):
         outages = (
@@ -98,11 +105,11 @@ class TestScheduleValidation:
         with pytest.raises(ConfigurationError, match=r"outages\[1\]\.start_step"):
             run(sim, trace, outages=outages)
 
-    def test_dropped_servers_do_not_trip_overlap_check(self):
-        # Out-of-fleet entries are ignored entirely - including for overlap.
+    def test_past_trace_outages_do_not_trip_overlap_check(self):
+        # Past-trace entries are ignored entirely - including for overlap.
         outages = (
-            NodeOutage(server=99, start_step=0, end_step=20),
-            NodeOutage(server=99, start_step=10, end_step=30),
+            NodeOutage(server=3, start_step=50, end_step=70),
+            NodeOutage(server=3, start_step=60, end_step=80),
         )
         assert validate_outages(outages, n_steps=50, n_servers=10) == ()
 
@@ -154,12 +161,12 @@ class TestAccounting:
             for result in per.values():
                 assert result.lost_node_steps == 30
 
-    def test_out_of_fleet_server_ignored(self, sim, trace):
+    def test_out_of_fleet_server_rejected(self, sim, trace):
         outage = NodeOutage(server=99, start_step=0, end_step=50)
-        experiment = run(sim, trace, outages=(outage,))
-        for per in experiment.results.values():
-            for result in per.values():
-                assert result.lost_node_steps == 0
+        with pytest.raises(
+            ConfigurationError, match=r"outages\[0\]\.server: server 99"
+        ):
+            run(sim, trace, outages=(outage,))
 
     def test_overlapping_outages_count_each_server(self, sim, trace):
         outages = (

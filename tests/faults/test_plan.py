@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import FaultError
-from repro.faults import FAULT_MODES, FaultPlan, FaultSpec, default_fault_plan
+from repro.faults import FAULT_MODES, SCOPED_KINDS, FaultPlan, FaultSpec, default_fault_plan
 
 
 class TestSpecValidation:
@@ -71,9 +71,10 @@ class TestPlan:
         assert plan.kinds() == {"app", "rapl", "telemetry", "battery"}
 
     def test_default_plan_exercises_every_kind(self):
-        # Every kind except "node": node outages are cluster-scope and the
-        # default plan drives a single server's substrate.
-        assert default_fault_plan().kinds() == set(FAULT_MODES) - {"node"}
+        # Every kind except the scoped ones: node/pdu/rack outages are
+        # cluster- and hierarchy-scope while the default plan drives a
+        # single server's substrate.
+        assert default_fault_plan().kinds() == set(FAULT_MODES) - SCOPED_KINDS
 
 
 class TestSerialization:

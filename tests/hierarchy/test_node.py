@@ -1,0 +1,154 @@
+"""Interior-node mechanics: deferred shrinks and state round-trips."""
+
+import pytest
+
+from repro.cluster.controlplane import CapAck, ControlPlaneConfig, SetCapCmd
+from repro.hierarchy.node import SubtreeAgent
+from repro.netsim import CONTROLLER, NetConfig, SimNetwork
+from repro.observability.metrics import MetricsRegistry
+
+
+def make_agent(metrics=None):
+    return SubtreeAgent(
+        0,
+        safe_cap_w=100.0,
+        rated_cap_w=float("inf"),
+        config=ControlPlaneConfig(),
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+    )
+
+
+def send(net, step, epoch, extra_w, expiry=1000):
+    net.send(
+        CONTROLLER,
+        0,
+        SetCapCmd(node=0, epoch=epoch, extra_w=extra_w, lease_expiry_step=expiry),
+        step,
+    )
+
+
+class TestDeferredShrink:
+    def test_grow_applies_immediately(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        assert agent.live_extra_w(1) == 40.0
+        assert agent.deferred_epoch is None
+
+    def test_shrink_is_deferred_until_downstream_fits(self):
+        metrics = MetricsRegistry()
+        agent, net = make_agent(metrics), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        fits = {"value": False}
+        agent.downstream_fits = lambda extra_w, expiry_step, step: fits["value"]
+        send(net, 1, epoch=2, extra_w=10.0)
+        agent.step(2, net)
+        # Old grant still enforced, shrink parked, issuance already shrunk.
+        assert agent.live_extra_w(2) == 40.0
+        assert agent.deferred_epoch == 2
+        assert agent.issuance_extra_w(2) == 10.0
+        assert metrics.counter("hierarchy.deferred_shrinks").value == 1
+        # No ack went back for the deferred shrink.
+        acks = [m for _, m in net.deliver(CONTROLLER, 10) if isinstance(m, CapAck)]
+        assert [a.epoch for a in acks] == [1]
+        # Downstream drains: the next step adopts and acks the shrink.
+        fits["value"] = True
+        agent.step(3, net)
+        assert agent.live_extra_w(3) == 10.0 and agent.epoch == 2
+        acks = [m for _, m in net.deliver(CONTROLLER, 10) if isinstance(m, CapAck)]
+        assert [a.epoch for a in acks] == [2]
+
+    def test_grow_with_earlier_expiry_is_deferred(self):
+        # A bigger grant whose lease ends EARLIER is still a shrink: the
+        # horizon moves backward, and downstream grants clamped to the old
+        # horizon would outlive the new lease (the bonus-clamp proof's
+        # whole premise). It must wait for downstream_fits like any shrink.
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=20.0, expiry=50)
+        agent.step(1, net)
+        seen = []
+
+        def fits(extra_w, expiry_step, step):
+            seen.append((extra_w, expiry_step, step))
+            return False
+
+        agent.downstream_fits = fits
+        send(net, 1, epoch=2, extra_w=40.0, expiry=46)
+        agent.step(2, net)
+        assert agent.deferred_epoch == 2
+        assert agent.live_extra_w(2) == 20.0
+        assert agent.lease_expiry_step == 50  # old horizon still enforced
+        assert seen and seen[-1] == (40.0, 46, 2)
+
+    def test_grow_with_later_expiry_applies_immediately(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=20.0, expiry=50)
+        agent.step(1, net)
+        agent.downstream_fits = lambda extra_w, expiry_step, step: False
+        send(net, 1, epoch=2, extra_w=40.0, expiry=60)
+        agent.step(2, net)
+        assert agent.deferred_epoch is None
+        assert agent.live_extra_w(2) == 40.0 and agent.lease_expiry_step == 60
+
+    def test_expired_lease_accepts_any_horizon(self):
+        # Once the old lease is dead the horizon cannot move backward under
+        # anyone's feet; a fresh grant applies immediately.
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=20.0, expiry=5)
+        agent.step(1, net)
+        agent.downstream_fits = lambda extra_w, expiry_step, step: False
+        send(net, 9, epoch=2, extra_w=30.0, expiry=8)  # stale, already dead
+        agent.step(10, net)
+        assert agent.deferred_epoch is None
+        assert agent.epoch == 2 and agent.live_extra_w(10) == 0.0
+
+    def test_newer_grow_supersedes_deferred_shrink(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        agent.downstream_fits = lambda extra_w, expiry_step, step: False
+        send(net, 1, epoch=2, extra_w=10.0)
+        agent.step(2, net)
+        assert agent.deferred_epoch == 2
+        send(net, 2, epoch=3, extra_w=50.0)
+        agent.step(3, net)
+        assert agent.deferred_epoch is None
+        assert agent.live_extra_w(3) == 50.0 and agent.epoch == 3
+
+    def test_deferred_shrink_dies_with_the_process(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        agent.downstream_fits = lambda extra_w, expiry_step, step: False
+        send(net, 1, epoch=2, extra_w=10.0)
+        agent.step(2, net)
+        assert agent.deferred_epoch == 2
+        agent.up = False
+        agent.step(3, net)  # crash: in-memory deferral is lost
+        agent.up = True
+        agent.step(4, net)
+        assert agent.deferred_epoch is None
+        assert agent.epoch == 1  # journaled grant survived the crash
+
+    def test_state_dict_roundtrips_the_deferral(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        agent.downstream_fits = lambda extra_w, expiry_step, step: False
+        send(net, 1, epoch=2, extra_w=10.0)
+        agent.step(2, net)
+        clone = make_agent()
+        clone.load_state_dict(agent.state_dict())
+        assert clone.deferred_epoch == 2
+        assert clone.live_extra_w(2) == 40.0
+        assert clone.issuance_extra_w(2) == 10.0
+
+    def test_without_fits_callback_shrink_applies_next_step(self):
+        agent, net = make_agent(), SimNetwork(NetConfig(), 1)
+        send(net, 0, epoch=1, extra_w=40.0)
+        agent.step(1, net)
+        send(net, 1, epoch=2, extra_w=10.0)
+        agent.step(2, net)
+        assert agent.live_extra_w(2) == 10.0  # no callback: applies at once
+        assert agent.deferred_epoch is None

@@ -1,0 +1,162 @@
+"""Hypothesis: the budget-tree invariant under arbitrary seeded chaos.
+
+Random trees (depth <= 4, fanout <= 16) replayed under seeded loss,
+duplication, root- and deep-fabric partitions, leaf kills, and whole
+failure-domain outages. The tree must hold the delegation invariant -
+the sum of effective child caps never exceeds the enforced budget at ANY
+node on ANY tick - and after the schedule heals and the network drains
+clean, every scope must be epoch-consistent with no zombie leases.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster.controlplane import ControlPlaneConfig
+from repro.hierarchy import (
+    SubtreeOutage,
+    TreeSpec,
+    TreeTopology,
+    format_path,
+    run_budget_tree,
+)
+from repro.netsim import NetConfig, PartitionWindow
+
+MAX_LEAVES = 48
+DRAIN_STEPS = 40
+
+
+@st.composite
+def tree_chaos(draw):
+    depth = draw(st.integers(min_value=1, max_value=4))
+    fanouts, leaves = [], 1
+    for _ in range(depth):
+        cap = min(16, MAX_LEAVES // leaves)
+        if cap < 2:
+            break
+        f = draw(st.integers(min_value=2, max_value=cap))
+        fanouts.append(f)
+        leaves *= f
+    spec = TreeSpec(fanouts=tuple(fanouts), budget_w=100.0 * leaves)
+
+    steps = draw(st.integers(min_value=30, max_value=60))
+    loss = draw(st.floats(min_value=0.0, max_value=0.25, allow_nan=False))
+    jitter = draw(st.integers(min_value=0, max_value=2))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    loads = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=leaves),
+            min_size=steps,
+            max_size=steps,
+        )
+    )
+
+    def window():
+        start = draw(st.integers(min_value=0, max_value=steps - 2))
+        length = draw(st.integers(min_value=1, max_value=max(1, steps // 3)))
+        # Clamped inside the schedule so the drain really is clean and the
+        # post-heal consistency assertions are deterministic.
+        return start, min(steps, start + length)
+
+    # Root-fabric partition: cut some of the root's direct children.
+    root_partitions = []
+    if draw(st.booleans()):
+        start, end = window()
+        cut = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=spec.fanouts[0] - 1),
+                min_size=1,
+                max_size=spec.fanouts[0] - 1,
+            )
+        )
+        root_partitions.append(
+            PartitionWindow(start_step=start, end_step=end, nodes=tuple(cut))
+        )
+
+    topology = TreeTopology(spec=spec, config=ControlPlaneConfig())
+    interior = [p for p in topology.interior_paths() if p]
+
+    # Deep-fabric partition: cut children inside one interior node's fabric.
+    deep_partitions = {}
+    if interior and draw(st.booleans()):
+        path = draw(st.sampled_from(interior))
+        start, end = window()
+        fanout = topology.fanout_at(path)
+        cut = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=fanout - 1),
+                min_size=1,
+                max_size=max(1, fanout - 1),
+            )
+        )
+        deep_partitions[format_path(path)] = (
+            PartitionWindow(start_step=start, end_step=end, nodes=tuple(cut)),
+        )
+
+    # Failure-domain kill: one whole subtree dark for a window.
+    outages = ()
+    if interior and draw(st.booleans()):
+        path = draw(st.sampled_from(interior))
+        start, end = window()
+        outages = (SubtreeOutage(path=path, start_step=start, end_step=end),)
+
+    # Leaf kill: one server blinks out.
+    leaf_down = [frozenset()] * steps
+    if draw(st.booleans()):
+        victim = draw(st.integers(min_value=0, max_value=leaves - 1))
+        start, end = window()
+        leaf_down = [
+            frozenset({victim}) if start <= t < end else frozenset()
+            for t in range(steps)
+        ]
+
+    net = NetConfig(
+        jitter_steps=jitter,
+        loss=loss,
+        duplicate=loss / 2,
+        partitions=tuple(root_partitions),
+        lossy_until_step=steps,
+        seed=seed,
+    )
+    return spec, topology, loads, leaf_down, outages, deep_partitions, net
+
+
+class TestHierarchyProperties:
+    @given(chaos=tree_chaos())
+    @settings(max_examples=40, deadline=None)
+    def test_delegation_invariant_and_consistent_heal(self, chaos):
+        spec, topology, loads, leaf_down, outages, deep_partitions, net = chaos
+        # The runner checks the per-node delegation invariant every tick
+        # and raises SimulationError on breach - completing IS the proof.
+        outcome = run_budget_tree(
+            spec,
+            loads,
+            net=net,
+            leaf_down_sets=leaf_down,
+            subtree_outages=outages,
+            partitions=deep_partitions,
+            drain_steps=DRAIN_STEPS,
+        )
+        assert outcome.max_total_cap_w <= spec.budget_w + 1e-6
+        leaf_safe = outcome.safe_caps_by_level_w[-1]
+        for row in outcome.caps_w:
+            assert sum(row) <= spec.budget_w + 1e-6
+            assert all(cap >= leaf_safe - 1e-9 for cap in row)
+        # No zombie leases after the heal + drain: every live extra is
+        # covered by the parent controller's outstanding accounting.
+        assert outcome.zombie_free
+        # Epoch consistency per scope: within each interior controller,
+        # granted child epochs are unique and never ahead of the
+        # controller's own counter.
+        for parent in topology.interior_paths():
+            final = outcome.final_epochs[format_path(parent)]
+            child_epochs = []
+            for child in topology.children(parent):
+                if topology.is_interior(child):
+                    child_epochs.append(outcome.node_epochs[format_path(child)])
+                else:
+                    child_epochs.append(
+                        outcome.leaf_epochs[topology.leaf_index(child)]
+                    )
+            granted = [e for e in child_epochs if e > 0]
+            assert len(set(granted)) == len(granted)
+            assert all(e <= final for e in granted)

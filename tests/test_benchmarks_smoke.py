@@ -40,6 +40,7 @@ def test_every_benchmark_runs_in_tiny_mode(tmp_path):
     env["REPRO_BENCH_ADVERSARY"] = str(tmp_path / "BENCH_adversary.json")
     env["REPRO_BENCH_ENGINE"] = str(tmp_path / "BENCH_engine.json")
     env["REPRO_BENCH_MEDIATOR"] = str(tmp_path / "BENCH_mediator.json")
+    env["REPRO_BENCH_HIERARCHY"] = str(tmp_path / "BENCH_hierarchy.json")
 
     proc = subprocess.run(
         [

@@ -131,6 +131,55 @@ class TestClusterNetsimFlags:
         assert "command=" in out and "ack=" in out
 
 
+class TestHierarchy:
+    def test_tree_replay_prints_level_table(self, capsys):
+        code = main(
+            ["hierarchy", "--fanouts", "3,4", "--steps", "60",
+             "--loss", "0.2", "--outage", "0:10:30"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 x 4 = 12 servers" in out
+        assert "pdu" in out and "server" in out
+        assert "mediation quality" in out
+        assert "never above budget" in out
+
+    def test_chaos_soak_passthrough(self, capsys):
+        code = main(["hierarchy", "--fanouts", "2,3", "--chaos", "2",
+                     "--steps", "80"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hierarchy chaos soak" in out
+        assert "held the delegation invariant" in out
+
+    def test_unknown_outage_path_exits_2_naming_it(self, capsys):
+        code = main(["hierarchy", "--fanouts", "3,4", "--outage", "9:0:10"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "node 9 does not exist" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_malformed_fanouts_exit_2(self, capsys):
+        code = main(["hierarchy", "--fanouts", "abc"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: --fanouts")
+
+    def test_trace_summarize_groups_hierarchy_events(self, capsys, tmp_path):
+        trace_path = tmp_path / "hier.jsonl"
+        code = main(
+            ["hierarchy", "--fanouts", "2,3", "--steps", "60",
+             "--loss", "0.25", "--trace-out", str(trace_path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        code = main(["trace", "summarize", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hierarchy:" in out
+        assert "level=" in out
+
+
 class TestServe:
     def test_serve_runs_the_open_loop_service(self, capsys, tmp_path):
         import json
